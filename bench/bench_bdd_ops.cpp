@@ -1,0 +1,164 @@
+/// \file bench_bdd_ops.cpp
+/// \brief Micro-benchmarks of the BDD substrate (google-benchmark): node
+/// construction, ITE throughput, quantification, counting, GC.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "bdd/bdd.hpp"
+#include "bdd/ops.hpp"
+#include "workload/instances.hpp"
+
+namespace {
+
+using namespace bddmin;
+
+/// n-variable adder-like function chain: builds a function with O(n)
+/// nodes whose construction exercises ITE heavily.
+Edge build_chain(Manager& mgr, unsigned n) {
+  Edge carry = kZero;
+  Edge sum = kZero;
+  for (unsigned v = 0; v + 1 < n; v += 2) {
+    const Edge a = mgr.var_edge(v);
+    const Edge b = mgr.var_edge(v + 1);
+    sum = mgr.xor_(sum, mgr.xor_(a, b));
+    carry = mgr.or_(mgr.and_(a, b), mgr.and_(carry, mgr.xor_(a, b)));
+  }
+  return mgr.xor_(sum, carry);
+}
+
+void BM_MakeNodeChain(benchmark::State& state) {
+  const unsigned n = static_cast<unsigned>(state.range(0));
+  Manager mgr(n);
+  for (auto _ : state) {
+    Edge cube = kOne;
+    for (unsigned v = n; v-- > 0;) cube = mgr.make_node(v, cube, kZero);
+    benchmark::DoNotOptimize(cube);
+    state.PauseTiming();
+    mgr.garbage_collect();
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_MakeNodeChain)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_IteAdderChain(benchmark::State& state) {
+  const unsigned n = static_cast<unsigned>(state.range(0));
+  Manager mgr(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_chain(mgr, n));
+    state.PauseTiming();
+    mgr.garbage_collect();
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_IteAdderChain)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_IteCached(benchmark::State& state) {
+  Manager mgr(32);
+  const Bdd f(mgr, build_chain(mgr, 32));
+  const Bdd g(mgr, mgr.var_edge(5));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mgr.ite(f.edge(), g.edge(), !g.edge()));
+  }
+}
+BENCHMARK(BM_IteCached);
+
+void BM_Exists(benchmark::State& state) {
+  const unsigned n = 20;
+  Manager mgr(n);
+  std::mt19937_64 rng(1);
+  const Bdd f(mgr, workload::random_function(mgr, n, 0.3, rng));
+  std::vector<std::uint32_t> vars{2, 5, 8, 11, 14};
+  const Bdd cube(mgr, positive_cube(mgr, vars));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exists(mgr, f.edge(), cube.edge()));
+    state.PauseTiming();
+    mgr.clear_caches();
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_Exists);
+
+void BM_AndExists(benchmark::State& state) {
+  const unsigned n = 20;
+  Manager mgr(n);
+  std::mt19937_64 rng(2);
+  const Bdd f(mgr, workload::random_function(mgr, n, 0.3, rng));
+  const Bdd g(mgr, workload::random_function(mgr, n, 0.3, rng));
+  std::vector<std::uint32_t> vars{1, 4, 7, 10, 13, 16};
+  const Bdd cube(mgr, positive_cube(mgr, vars));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(and_exists(mgr, f.edge(), g.edge(), cube.edge()));
+    state.PauseTiming();
+    mgr.clear_caches();
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_AndExists);
+
+void BM_SatCount(benchmark::State& state) {
+  const unsigned n = 24;
+  Manager mgr(n);
+  std::mt19937_64 rng(3);
+  const Bdd f(mgr, workload::random_function(mgr, n, 0.4, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sat_count(mgr, f.edge(), n));
+  }
+}
+BENCHMARK(BM_SatCount);
+
+void BM_CountNodes(benchmark::State& state) {
+  const unsigned n = 24;
+  Manager mgr(n);
+  std::mt19937_64 rng(4);
+  const Bdd f(mgr, workload::random_function(mgr, n, 0.4, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(count_nodes(mgr, f.edge()));
+  }
+}
+BENCHMARK(BM_CountNodes);
+
+void BM_ReorderSift(benchmark::State& state) {
+  const unsigned pairs = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Manager mgr(2 * pairs);
+    Edge f = kZero;
+    for (unsigned k = 0; k < pairs; ++k) {
+      f = mgr.or_(f, mgr.and_(mgr.var_edge(k), mgr.var_edge(pairs + k)));
+    }
+    mgr.ref(f);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(mgr.reorder_sift());
+  }
+}
+BENCHMARK(BM_ReorderSift)->Arg(6)->Arg(8)->Arg(10)->Unit(benchmark::kMillisecond);
+
+void BM_AdjacentSwap(benchmark::State& state) {
+  Manager mgr(16);
+  std::mt19937_64 rng(6);
+  const Bdd f(mgr, workload::random_function(mgr, 16, 0.3, rng));
+  mgr.garbage_collect();
+  std::uint32_t level = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mgr.swap_adjacent_levels(level));
+    level = (level + 1) % 15;
+  }
+}
+BENCHMARK(BM_AdjacentSwap);
+
+void BM_GarbageCollect(benchmark::State& state) {
+  Manager mgr(24);
+  std::mt19937_64 rng(5);
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (int i = 0; i < 20; ++i) {
+      (void)workload::random_function(mgr, 24, 0.3, rng);
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(mgr.garbage_collect());
+  }
+}
+BENCHMARK(BM_GarbageCollect);
+
+}  // namespace

@@ -1,0 +1,66 @@
+/// \file bench_extensions.cpp
+/// \brief Evaluates the paper's closing proposal: "a heuristic that
+/// combines the strong points of the level-match and sibling-match
+/// heuristics would be robust and would yield good results."  We run the
+/// same FSM workload as Table 3 with the combinations this library adds —
+/// the Section 3.4 scheduler, the mixed-criterion sibling matcher, and
+/// the Proposition 6 fallback wrapper — against the best single
+/// heuristics, and report totals plus Figure 3-style y-intercepts.
+#include "experiment_common.hpp"
+#include "harness/csv.hpp"
+#include "harness/render.hpp"
+#include "harness/stats.hpp"
+
+int main() {
+  using namespace bddmin;
+  std::printf("=== Combined-heuristic study (Section 5 proposal) ===\n");
+
+  std::vector<minimize::Heuristic> set;
+  const auto paper = minimize::paper_heuristics();
+  set.push_back(minimize::heuristic_by_name(paper, "const"));
+  set.push_back(minimize::heuristic_by_name(paper, "restr"));
+  set.push_back(minimize::heuristic_by_name(paper, "osm_bt"));
+  set.push_back(minimize::heuristic_by_name(paper, "tsm_td"));
+  set.push_back(minimize::heuristic_by_name(paper, "opt_lv"));
+  set.push_back({"opt_lv_osm", [](Manager& m, Edge f, Edge c) {
+                   return minimize::opt_lv(m, f, c, {},
+                                           minimize::Criterion::kOsm);
+                 }});
+  set.push_back(minimize::mixed_heuristic());
+  minimize::ScheduleOptions sched_opts;
+  sched_opts.use_level_steps = true;
+  set.push_back(minimize::scheduler_heuristic(sched_opts));
+  minimize::ScheduleOptions lite_opts;
+  lite_opts.use_level_steps = false;
+  minimize::Heuristic lite = minimize::scheduler_heuristic(lite_opts);
+  lite.name = "sched_lite";
+  set.push_back(lite);
+  set.push_back(
+      minimize::with_fallback(minimize::heuristic_by_name(paper, "tsm_td")));
+
+  harness::Interceptor interceptor(set);
+  bench::run_workload(interceptor);
+
+  const harness::Table3 table =
+      harness::aggregate_table3(interceptor.names(), interceptor.records());
+  std::printf("%s\n", harness::render_table3(table).c_str());
+
+  std::printf("robustness y-intercepts (how often each is the best of this "
+              "set):\n");
+  const auto names = interceptor.names();
+  for (std::size_t h = 0; h < names.size(); ++h) {
+    const auto curve =
+        harness::robustness_curve(interceptor.records(), h, 10.0, 20.0);
+    std::printf("  %-10s best %5.1f%%   within 10%%: %5.1f%%\n",
+                names[h].c_str(), curve[0], curve[1]);
+  }
+
+  const std::string csv =
+      harness::records_to_csv(names, interceptor.records());
+  if (harness::write_text_file("bench_extensions_records.csv", csv)) {
+    std::printf("\nper-call records written to "
+                "bench_extensions_records.csv (%zu rows)\n",
+                interceptor.records().size());
+  }
+  return 0;
+}

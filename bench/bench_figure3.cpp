@@ -1,0 +1,55 @@
+/// \file bench_figure3.cpp
+/// \brief Reproduces Figure 3: for each representative heuristic, the
+/// percentage of calls whose result is within x% of the best heuristic
+/// (min), for x = 0..100.  Printed as a data table plus an ASCII plot.
+#include "experiment_common.hpp"
+#include "harness/render.hpp"
+#include "harness/stats.hpp"
+
+int main() {
+  using namespace bddmin;
+  std::printf("=== Figure 3 reproduction (Shiple et al., DAC'94) ===\n");
+  harness::Interceptor interceptor(minimize::all_heuristics());
+  bench::run_workload(interceptor);
+
+  const std::vector<std::string> series{"f_orig", "const", "restr", "tsm_td",
+                                        "opt_lv"};
+  std::printf("%s\n", harness::render_robustness(interceptor.names(),
+                                                 interceptor.records(), series,
+                                                 5.0, 100.0)
+                          .c_str());
+
+  // Coarse ASCII plot, one row per 10% of calls.
+  const auto names = interceptor.names();
+  std::vector<std::vector<double>> curves;
+  for (const std::string& s : series) {
+    for (std::size_t h = 0; h < names.size(); ++h) {
+      if (names[h] == s) {
+        curves.push_back(
+            harness::robustness_curve(interceptor.records(), h, 5.0, 100.0));
+      }
+    }
+  }
+  std::printf("ascii plot (x: within %% of min, 0..100; y: %% of calls)\n");
+  for (int row = 10; row >= 3; --row) {
+    std::printf("%3d%% |", row * 10);
+    for (std::size_t s = 0; s < curves.front().size(); ++s) {
+      char ch = ' ';
+      for (std::size_t k = 0; k < curves.size(); ++k) {
+        if (curves[k][s] >= row * 10.0 &&
+            (row == 10 || curves[k][s] < (row + 1) * 10.0)) {
+          ch = "FcrTo"[k];  // f_orig, const, restr, Tsm_td, opt_lv
+        }
+      }
+      std::printf("%c", ch);
+    }
+    std::printf("\n");
+  }
+  std::printf("      +%s\n", std::string(curves.front().size(), '-').c_str());
+  std::printf("legend: F=f_orig c=const r=restr T=tsm_td o=opt_lv\n");
+  std::printf("\ny-intercepts (how often each finds the smallest result):\n");
+  for (std::size_t k = 0; k < series.size(); ++k) {
+    std::printf("  %-8s %5.1f%%\n", series[k].c_str(), curves[k].front());
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+/// \file bench_scheduler.cpp
+/// \brief The experiment Section 3.4 leaves as future work: sweep the
+/// scheduler's window_size and stop_top_down over a fixed instance set
+/// and compare against the individual heuristics it is built from.
+#include <chrono>
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "bdd/ops.hpp"
+#include "minimize/registry.hpp"
+#include "workload/instances.hpp"
+
+int main() {
+  using namespace bddmin;
+  std::printf("=== Scheduler parameter sweep (Section 3.4 future work) ===\n\n");
+
+  Manager mgr(12);
+  std::mt19937_64 rng(99);
+  std::vector<minimize::IncSpec> instances;
+  std::vector<Bdd> pins;
+  for (int i = 0; i < 30; ++i) {
+    const double density = (i % 2) ? 0.03 : 0.3;
+    const minimize::IncSpec spec =
+        workload::random_instance(mgr, 12, density, rng);
+    if (spec.c == kZero || spec.c == kOne) continue;
+    instances.push_back(spec);
+    pins.emplace_back(mgr, spec.f);
+    pins.emplace_back(mgr, spec.c);
+  }
+  std::printf("%zu instances over 12 variables\n\n", instances.size());
+
+  const auto measure = [&](const minimize::Heuristic& h) {
+    const auto start = std::chrono::steady_clock::now();
+    std::size_t total = 0;
+    for (const minimize::IncSpec& spec : instances) {
+      mgr.garbage_collect();
+      total += count_nodes(mgr, h.run(mgr, spec.f, spec.c));
+    }
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    std::printf("%-26s total=%6zu  time=%6.2fs\n", h.name.c_str(), total, secs);
+    return total;
+  };
+
+  std::printf("-- baselines --\n");
+  for (const minimize::Heuristic& h : minimize::paper_heuristics()) {
+    measure(h);
+  }
+
+  std::printf("\n-- schedule grid (window_size x stop_top_down), with level "
+              "steps --\n");
+  for (const unsigned window : {1u, 2u, 4u, 8u}) {
+    for (const unsigned stop : {2u, 4u, 8u}) {
+      minimize::ScheduleOptions opts;
+      opts.window_size = window;
+      opts.stop_top_down = stop;
+      minimize::Heuristic h = minimize::scheduler_heuristic(opts);
+      h.name = "sched w=" + std::to_string(window) + " stop=" +
+               std::to_string(stop);
+      measure(h);
+    }
+  }
+
+  std::printf("\n-- cheap variant: sibling steps only (skip level matching) "
+              "--\n");
+  for (const unsigned window : {2u, 4u}) {
+    minimize::ScheduleOptions opts;
+    opts.window_size = window;
+    opts.stop_top_down = 4;
+    opts.use_level_steps = false;
+    minimize::Heuristic h = minimize::scheduler_heuristic(opts);
+    h.name = "sched-lite w=" + std::to_string(window);
+    measure(h);
+  }
+  return 0;
+}

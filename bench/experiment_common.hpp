@@ -1,0 +1,141 @@
+/// \file experiment_common.hpp
+/// \brief Shared workload driver for the table/figure reproductions: runs
+/// FSM self-equivalence (the paper's verify_fsm experiment) over the
+/// builtin controllers and the synthetic datapath machines, intercepting
+/// every frontier-minimization call.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fsm/equiv.hpp"
+#include "harness/intercept.hpp"
+#include "workload/builtin_fsms.hpp"
+#include "workload/generators.hpp"
+
+namespace bddmin::bench {
+
+/// Set BDDMIN_QUICK=1 to shrink the workload (useful in CI smoke runs).
+inline bool quick_mode() {
+  const char* q = std::getenv("BDDMIN_QUICK");
+  return q != nullptr && q[0] == '1';
+}
+
+/// Re-encode an explicit machine by shuffling its state order (same
+/// behaviour, different binary codes).  Checking a machine against a
+/// re-encoded copy makes the reached product set a state correspondence
+/// rather than the plain diagonal — structurally richer frontiers, as in
+/// the paper's experiments on real benchmark pairs.
+inline fsm::MachineSpec shuffled_spec(fsm::Fsm machine, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::shuffle(machine.states.begin(), machine.states.end(), rng);
+  machine.name += "_shuffled";
+  return fsm::spec_from_fsm(std::move(machine));
+}
+
+/// (left, right) machine pairs for the product traversal.
+inline std::vector<std::pair<fsm::MachineSpec, fsm::MachineSpec>>
+workload_pairs() {
+  std::vector<std::pair<fsm::MachineSpec, fsm::MachineSpec>> pairs;
+  const auto self = [&](fsm::MachineSpec spec) {
+    pairs.emplace_back(spec, spec);
+  };
+  for (const fsm::Fsm& m : workload::builtin_fsms()) {
+    self(fsm::spec_from_fsm(m));
+    pairs.emplace_back(fsm::spec_from_fsm(m), shuffled_spec(m, 9000 + pairs.size()));
+  }
+  self(workload::make_counter(6));
+  self(workload::make_mod_counter(10));
+  self(workload::make_gray_counter(5));
+  self(workload::make_lfsr(6, 0b000011));
+  self(workload::make_shift_register(5));
+  self(workload::make_random_mealy(24, 2, 2, 1001));
+  self(workload::make_random_mealy(32, 2, 1, 1002));
+  if (!quick_mode()) {
+    self(workload::make_counter(8));
+    self(workload::make_accumulator(7, 4));
+    self(workload::make_mult_register(7, 4));
+    self(workload::make_minmax(3));
+    self(workload::make_random_mealy(48, 3, 2, 1003));
+    self(workload::make_random_mealy(40, 2, 3, 1004));
+    self(workload::make_random_mealy(64, 2, 2, 1005));
+    self(workload::make_random_mealy(96, 4, 2, 1006));
+    // Re-encoded copies: the reached product set becomes a state
+    // correspondence instead of the diagonal.
+    for (const std::uint64_t seed : {2001ull, 2002ull, 2003ull}) {
+      const fsm::Fsm m = workload::make_random_mealy_fsm(
+          static_cast<unsigned>(24 + 8 * (seed % 10)), 3, 2, seed);
+      pairs.emplace_back(fsm::spec_from_fsm(m), shuffled_spec(m, seed + 50));
+    }
+  }
+  return pairs;
+}
+
+/// Machines whose *single-machine* reachability is traversed with
+/// frontier minimization — the application in which Coudert et al. posed
+/// the problem.  These reach dense state sets, so late frontier calls
+/// carry huge don't-care freedom (paper's low-onset bucket) while early
+/// ones sit in the high-onset bucket.
+inline std::vector<fsm::MachineSpec> reach_workload_machines() {
+  std::vector<fsm::MachineSpec> machines;
+  machines.push_back(workload::make_bit_setter(8));
+  machines.push_back(workload::make_accumulator(8, 4));
+  machines.push_back(workload::make_gray_counter(6));
+  machines.push_back(workload::make_mod_counter(100));
+  if (!quick_mode()) {
+    machines.push_back(workload::make_bit_setter(11));
+    machines.push_back(workload::make_accumulator(10, 3));
+    machines.push_back(workload::make_mult_register(9, 4));
+    machines.push_back(workload::make_minmax(4));
+  }
+  return machines;
+}
+
+/// Run the whole experiment; prints one progress line per machine pair.
+/// The functional (constrain-based) image method is used so the
+/// interceptor sees the same two call populations as the paper:
+/// frontier minimizations [U, U + R̄] and image constrains [delta_k, S].
+inline void run_workload(harness::Interceptor& interceptor) {
+  fsm::EquivOptions opts;
+  opts.image_method = fsm::ImageMethod::kFunctional;
+  opts.minimize = interceptor.hook();
+  for (const auto& [a, b] : workload_pairs()) {
+    const std::size_t before = interceptor.total_calls();
+    const fsm::EquivResult result = fsm::check_equivalence(a, b, opts);
+    std::printf("# %-22s equivalent=%d iterations=%u calls=%zu\n",
+                (a.name == b.name ? a.name : a.name + " vs " + b.name).c_str(),
+                result.equivalent ? 1 : 0, result.iterations,
+                interceptor.total_calls() - before);
+    std::fflush(stdout);
+  }
+  for (const fsm::MachineSpec& spec : reach_workload_machines()) {
+    const std::size_t before = interceptor.total_calls();
+    Manager mgr(spec.num_inputs + 2 * spec.num_state_bits, 15);
+    std::vector<std::uint32_t> in(spec.num_inputs);
+    for (unsigned i = 0; i < spec.num_inputs; ++i) in[i] = i;
+    std::vector<std::uint32_t> st;
+    std::vector<std::uint32_t> nx;
+    for (unsigned k = 0; k < spec.num_state_bits; ++k) {
+      st.push_back(spec.num_inputs + 2 * k);
+      nx.push_back(spec.num_inputs + 2 * k + 1);
+    }
+    const fsm::SymbolicFsm sym = spec.build(mgr, in, st);
+    fsm::ReachOptions ropts;
+    ropts.image_method = fsm::ImageMethod::kFunctional;
+    ropts.minimize = interceptor.hook();
+    const fsm::ReachResult result = fsm::reachable_states(mgr, sym, nx, ropts);
+    std::printf("# reach %-16s iterations=%u calls=%zu\n", spec.name.c_str(),
+                result.iterations, interceptor.total_calls() - before);
+    std::fflush(stdout);
+  }
+  std::printf("# total calls %zu, filtered %zu, kept %zu\n\n",
+              interceptor.total_calls(), interceptor.filtered_calls(),
+              interceptor.records().size());
+}
+
+}  // namespace bddmin::bench

@@ -1,0 +1,59 @@
+/// \file variable_reordering.cpp
+/// \brief The orthogonal size lever: dynamic variable reordering.  The
+/// DAC'94 paper fixes the variable order and spends don't-care freedom;
+/// this example shows the complementary knob on the classic
+/// order-sensitive function x0·xn + x1·x(n+1) + ... and how the two
+/// compose (minimize first, then sift).
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "bdd/ops.hpp"
+#include "minimize/sibling.hpp"
+
+int main() {
+  using namespace bddmin;
+  constexpr unsigned kPairs = 8;
+  Manager mgr(2 * kPairs);
+
+  // f = OR of x_k & x_(pairs+k): exponential under the initial order.
+  Bdd f(mgr, kZero);
+  for (unsigned k = 0; k < kPairs; ++k) {
+    const Bdd a(mgr, mgr.var_edge(k));
+    const Bdd b(mgr, mgr.var_edge(kPairs + k));
+    f |= a & b;
+  }
+  std::printf("pairing function over %u pairs\n", kPairs);
+  std::printf("  initial order (selectors first): %6zu nodes\n", f.size());
+
+  mgr.reorder_sift();
+  std::printf("  after sifting:                   %6zu nodes\n", f.size());
+  std::printf("  order found:");
+  for (const std::uint32_t v : mgr.current_order()) std::printf(" x%u", v);
+  std::printf("\n\n");
+
+  // Back to the bad order, then hand-set the known-good interleaving.
+  std::vector<std::uint32_t> identity(2 * kPairs);
+  std::iota(identity.begin(), identity.end(), 0u);
+  mgr.set_order(identity);
+  std::vector<std::uint32_t> interleaved;
+  for (unsigned k = 0; k < kPairs; ++k) {
+    interleaved.push_back(k);
+    interleaved.push_back(kPairs + k);
+  }
+  mgr.set_order(interleaved);
+  std::printf("explicit interleaved order:        %6zu nodes\n\n", f.size());
+
+  // Compose with don't-care minimization: care only where the first
+  // selector pair is active.
+  mgr.set_order(identity);
+  const Bdd care(mgr,
+                 mgr.or_(mgr.var_edge(0), mgr.var_edge(kPairs)));
+  const Bdd g(mgr, minimize::restrict_dc(mgr, f.edge(), care.edge()));
+  std::printf("restrict against c = x0 | x%u:      %6zu nodes\n", kPairs,
+              g.size());
+  mgr.reorder_sift();
+  std::printf("and sifted on top:                 %6zu nodes\n", g.size());
+  return 0;
+}

@@ -1,0 +1,9 @@
+#include "bdd/bdd.hpp"
+
+#include "bdd/ops.hpp"
+
+namespace bddmin {
+
+std::size_t Bdd::size() const { return count_nodes(*mgr_, e_); }
+
+}  // namespace bddmin

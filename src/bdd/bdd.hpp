@@ -1,0 +1,116 @@
+/// \file bdd.hpp
+/// \brief RAII handle over a Manager edge with operator sugar.
+///
+/// A Bdd keeps its root referenced for as long as it is alive, so the root
+/// (and everything under it) survives Manager::garbage_collect().  All
+/// operators delegate to the owning manager; mixing handles from different
+/// managers is a logic error (checked by assertion).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "bdd/manager.hpp"
+
+namespace bddmin {
+
+class Bdd {
+ public:
+  Bdd() = default;
+  Bdd(Manager& mgr, Edge e) : mgr_(&mgr), e_(e) { mgr_->ref(e_); }
+  Bdd(const Bdd& o) : mgr_(o.mgr_), e_(o.e_) {
+    if (mgr_) mgr_->ref(e_);
+  }
+  Bdd(Bdd&& o) noexcept : mgr_(std::exchange(o.mgr_, nullptr)), e_(o.e_) {}
+  Bdd& operator=(const Bdd& o) {
+    Bdd tmp(o);
+    swap(tmp);
+    return *this;
+  }
+  Bdd& operator=(Bdd&& o) noexcept {
+    swap(o);
+    return *this;
+  }
+  ~Bdd() {
+    if (mgr_) mgr_->deref(e_);
+  }
+  void swap(Bdd& o) noexcept {
+    std::swap(mgr_, o.mgr_);
+    std::swap(e_, o.e_);
+  }
+
+  [[nodiscard]] Edge edge() const noexcept { return e_; }
+  [[nodiscard]] Manager* manager() const noexcept { return mgr_; }
+  [[nodiscard]] bool valid() const noexcept { return mgr_ != nullptr; }
+  [[nodiscard]] bool is_one() const noexcept { return e_ == kOne; }
+  [[nodiscard]] bool is_zero() const noexcept { return e_ == kZero; }
+  [[nodiscard]] bool is_const() const noexcept { return Manager::is_const(e_); }
+  /// Node count of this function, including the terminal (paper's |f|).
+  [[nodiscard]] std::size_t size() const;
+
+  [[nodiscard]] Bdd operator!() const { return Bdd(*mgr_, !e_); }
+  [[nodiscard]] Bdd operator&(const Bdd& o) const {
+    assert(mgr_ == o.mgr_);
+    return Bdd(*mgr_, mgr_->and_(e_, o.e_));
+  }
+  [[nodiscard]] Bdd operator|(const Bdd& o) const {
+    assert(mgr_ == o.mgr_);
+    return Bdd(*mgr_, mgr_->or_(e_, o.e_));
+  }
+  [[nodiscard]] Bdd operator^(const Bdd& o) const {
+    assert(mgr_ == o.mgr_);
+    return Bdd(*mgr_, mgr_->xor_(e_, o.e_));
+  }
+  /// Set difference / inhibition: this AND NOT other.
+  [[nodiscard]] Bdd operator-(const Bdd& o) const {
+    assert(mgr_ == o.mgr_);
+    return Bdd(*mgr_, mgr_->diff(e_, o.e_));
+  }
+  Bdd& operator&=(const Bdd& o) { return *this = *this & o; }
+  Bdd& operator|=(const Bdd& o) { return *this = *this | o; }
+  Bdd& operator^=(const Bdd& o) { return *this = *this ^ o; }
+  Bdd& operator-=(const Bdd& o) { return *this = *this - o; }
+
+  [[nodiscard]] Bdd ite(const Bdd& g, const Bdd& h) const {
+    assert(mgr_ == g.mgr_ && mgr_ == h.mgr_);
+    return Bdd(*mgr_, mgr_->ite(e_, g.e_, h.e_));
+  }
+  /// Functional implication test: this <= other everywhere.
+  [[nodiscard]] bool leq(const Bdd& o) const {
+    assert(mgr_ == o.mgr_);
+    return mgr_->leq(e_, o.e_);
+  }
+
+  friend bool operator==(const Bdd& a, const Bdd& b) noexcept {
+    return a.mgr_ == b.mgr_ && a.e_ == b.e_;
+  }
+
+ private:
+  Manager* mgr_ = nullptr;
+  Edge e_ = kZero;
+};
+
+/// Keeps a dynamic set of raw edges referenced (e.g. across a GC) without
+/// the per-handle overhead of Bdd; useful inside algorithms.
+class EdgePin {
+ public:
+  explicit EdgePin(Manager& mgr) : mgr_(&mgr) {}
+  EdgePin(const EdgePin&) = delete;
+  EdgePin& operator=(const EdgePin&) = delete;
+  ~EdgePin() {
+    for (const Edge e : pinned_) mgr_->deref(e);
+  }
+  Edge pin(Edge e) {
+    mgr_->ref(e);
+    pinned_.push_back(e);
+    return e;
+  }
+
+ private:
+  Manager* mgr_;
+  std::vector<Edge> pinned_;
+};
+
+}  // namespace bddmin

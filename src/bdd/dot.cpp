@@ -1,0 +1,40 @@
+#include "bdd/dot.hpp"
+
+#include <sstream>
+#include <unordered_set>
+
+namespace bddmin {
+
+std::string to_dot(const Manager& mgr, std::span<const Edge> roots,
+                   std::span<const std::string> names) {
+  std::ostringstream os;
+  os << "digraph bdd {\n  rankdir=TB;\n";
+  os << "  node [shape=circle];\n";
+  os << "  n0 [shape=box, label=\"1\"];\n";
+  std::unordered_set<std::uint32_t> visited{0};
+  std::vector<Edge> stack;
+  for (std::size_t r = 0; r < roots.size(); ++r) {
+    const std::string label =
+        r < names.size() ? names[r] : ("f" + std::to_string(r));
+    os << "  root" << r << " [shape=plaintext, label=\"" << label << "\"];\n";
+    os << "  root" << r << " -> n" << roots[r].index()
+       << (roots[r].complemented() ? " [style=dotted]" : "") << ";\n";
+    stack.push_back(roots[r]);
+  }
+  while (!stack.empty()) {
+    const Edge e = stack.back();
+    stack.pop_back();
+    if (!visited.insert(e.index()).second) continue;
+    const Node& n = mgr.node_at(e.index());
+    os << "  n" << e.index() << " [label=\"x" << n.var << "\"];\n";
+    os << "  n" << e.index() << " -> n" << n.hi.index() << ";\n";
+    os << "  n" << e.index() << " -> n" << n.lo.index() << " [style=dashed"
+       << (n.lo.complemented() ? ",color=red" : "") << "];\n";
+    stack.push_back(n.hi);
+    stack.push_back(n.lo);
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace bddmin

@@ -1,0 +1,19 @@
+/// \file dot.hpp
+/// \brief Graphviz export of BDD forests (debugging / documentation aid).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bdd/manager.hpp"
+
+namespace bddmin {
+
+/// Render the shared forest rooted at \p roots as a Graphviz digraph.
+/// Complemented edges are drawn dotted, else-edges dashed; root r is
+/// labelled names[r] (or "f<r>" when names are not provided).
+[[nodiscard]] std::string to_dot(const Manager& mgr, std::span<const Edge> roots,
+                                 std::span<const std::string> names = {});
+
+}  // namespace bddmin

@@ -1,0 +1,128 @@
+#include "bdd/io.hpp"
+
+#include <sstream>
+
+#include "bdd/bdd.hpp"
+#include <stdexcept>
+#include <unordered_map>
+
+namespace bddmin {
+namespace {
+
+/// Serialize one edge reference: constants as @0/@1, nodes as [~]#id.
+void write_edge(std::ostream& os, Edge e,
+                const std::unordered_map<std::uint32_t, std::size_t>& ids) {
+  if (Manager::is_const(e)) {
+    os << (e == kOne ? "@1" : "@0");
+    return;
+  }
+  if (e.complemented()) os << '~';
+  os << '#' << ids.at(e.index());
+}
+
+Edge read_edge(const std::string& token, const std::vector<Edge>& by_id) {
+  if (token == "@1") return kOne;
+  if (token == "@0") return kZero;
+  std::string_view view = token;
+  bool complement = false;
+  if (!view.empty() && view.front() == '~') {
+    complement = true;
+    view.remove_prefix(1);
+  }
+  if (view.empty() || view.front() != '#') {
+    throw std::invalid_argument("bdd io: bad edge token " + token);
+  }
+  view.remove_prefix(1);
+  const std::size_t id = std::stoul(std::string(view));
+  // Children-first numbering: only already-built ids may be referenced.
+  if (id == 0 || id > by_id.size()) {
+    throw std::invalid_argument("bdd io: undefined node id " + token);
+  }
+  return by_id[id - 1].complement_if(complement);
+}
+
+}  // namespace
+
+std::string serialize(const Manager& mgr, std::span<const Edge> roots) {
+  // Children-first (post-order) numbering so every reference points to an
+  // already-written node.
+  std::unordered_map<std::uint32_t, std::size_t> ids;
+  std::ostringstream body;
+  std::size_t next_id = 0;
+  auto visit = [&](auto&& self, Edge e) -> void {
+    if (Manager::is_const(e) || ids.contains(e.index())) return;
+    const Node& n = mgr.node_at(e.index());
+    self(self, n.hi);
+    self(self, n.lo);
+    ids.emplace(e.index(), ++next_id);
+    body << next_id << ' ' << n.var << ' ';
+    write_edge(body, n.hi, ids);
+    body << ' ';
+    write_edge(body, n.lo, ids);
+    body << '\n';
+  };
+  for (const Edge root : roots) visit(visit, root);
+
+  std::ostringstream os;
+  os << "bddmin-bdd v1\n";
+  os << "vars " << mgr.num_vars() << '\n';
+  os << "nodes " << next_id << '\n';
+  os << body.str();
+  os << "roots " << roots.size() << '\n';
+  for (std::size_t r = 0; r < roots.size(); ++r) {
+    if (r) os << ' ';
+    write_edge(os, roots[r], ids);
+  }
+  os << '\n';
+  return os.str();
+}
+
+std::vector<Edge> deserialize(Manager& mgr, std::string_view text) {
+  std::istringstream in{std::string(text)};
+  std::string magic, version;
+  in >> magic >> version;
+  if (magic != "bddmin-bdd" || version != "v1") {
+    throw std::invalid_argument("bdd io: bad header");
+  }
+  std::string keyword;
+  unsigned vars = 0;
+  in >> keyword >> vars;
+  if (keyword != "vars") throw std::invalid_argument("bdd io: expected vars");
+  if (vars > mgr.num_vars()) {
+    throw std::invalid_argument("bdd io: manager has too few variables");
+  }
+  std::size_t node_count = 0;
+  in >> keyword >> node_count;
+  if (keyword != "nodes") throw std::invalid_argument("bdd io: expected nodes");
+
+  std::vector<Edge> by_id;
+  by_id.reserve(node_count);
+  EdgePin pin(mgr);
+  for (std::size_t k = 0; k < node_count; ++k) {
+    std::size_t id = 0;
+    std::uint32_t var = 0;
+    std::string hi_token, lo_token;
+    if (!(in >> id >> var >> hi_token >> lo_token) || id != k + 1 ||
+        var >= vars) {
+      throw std::invalid_argument("bdd io: malformed node line");
+    }
+    const Edge hi = read_edge(hi_token, by_id);
+    const Edge lo = read_edge(lo_token, by_id);
+    // Recombine with ITE: the destination order may differ from the
+    // source order, where make_node's level precondition could fail.
+    by_id.push_back(pin.pin(mgr.ite(mgr.var_edge(var), hi, lo)));
+  }
+  std::size_t root_count = 0;
+  in >> keyword >> root_count;
+  if (keyword != "roots") throw std::invalid_argument("bdd io: expected roots");
+  std::vector<Edge> roots;
+  roots.reserve(root_count);
+  for (std::size_t r = 0; r < root_count; ++r) {
+    std::string token;
+    if (!(in >> token)) throw std::invalid_argument("bdd io: missing root");
+    roots.push_back(read_edge(token, by_id));
+  }
+  return roots;
+}
+
+}  // namespace bddmin

@@ -1,0 +1,38 @@
+/// \file io.hpp
+/// \brief Text serialization of shared BDD forests.
+///
+/// The format is order-independent: nodes are written children-first with
+/// their variable *names*, and deserialization rebuilds through ITE, so a
+/// forest saved under one variable order loads correctly into a manager
+/// with any order (including one produced by sifting).
+///
+/// ```
+/// bddmin-bdd v1
+/// vars 5
+/// nodes 3
+/// 1 4 @1 @0      # id var hi lo; @0/@1 constants, ~ prefixes complement
+/// 2 2 #1 ~#1
+/// roots 2
+/// #2 ~#1
+/// ```
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bdd/manager.hpp"
+
+namespace bddmin {
+
+/// Serialize the forest rooted at \p roots.
+[[nodiscard]] std::string serialize(const Manager& mgr,
+                                    std::span<const Edge> roots);
+
+/// Rebuild a serialized forest in \p mgr (which must have at least the
+/// recorded variable count); returns the root edges in original order.
+/// Throws std::invalid_argument on malformed input.
+[[nodiscard]] std::vector<Edge> deserialize(Manager& mgr, std::string_view text);
+
+}  // namespace bddmin

@@ -1,0 +1,471 @@
+#include "bdd/manager.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+namespace bddmin {
+namespace {
+
+/// Sentinel var value marking a recycled (free) node slot.
+constexpr std::uint32_t kFreeVar = 0xFFFF'FFFEu;
+
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  // splitmix64 finalizer: cheap, well distributed.
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Manager::Manager(unsigned num_vars, unsigned cache_log2)
+    : num_vars_(num_vars),
+      subtables_(num_vars),
+      var_to_level_(num_vars),
+      level_to_var_(num_vars),
+      cache_(std::size_t{1} << cache_log2),
+      cache_mask_((std::size_t{1} << cache_log2) - 1) {
+  nodes_.reserve(1u << 12);
+  for (SubTable& table : subtables_) table.buckets.assign(4, kNilIndex);
+  std::iota(var_to_level_.begin(), var_to_level_.end(), 0u);
+  std::iota(level_to_var_.begin(), level_to_var_.end(), 0u);
+  // Terminal node at index 0; its ref count is saturated so it never dies.
+  Node terminal;
+  terminal.var = kConstVar;
+  terminal.ref = 0xFFFF'FFFFu;
+  nodes_.push_back(terminal);
+  live_count_ = 1;
+}
+
+unsigned Manager::add_var() {
+  const unsigned var = num_vars_++;
+  SubTable table;
+  table.buckets.assign(4, kNilIndex);
+  subtables_.push_back(std::move(table));
+  level_to_var_.push_back(var);  // new variable enters at the bottom
+  var_to_level_.push_back(static_cast<std::uint32_t>(level_to_var_.size() - 1));
+  return var;
+}
+
+std::size_t Manager::node_hash(Edge hi, Edge lo) noexcept {
+  return static_cast<std::size_t>(
+      mix64((std::uint64_t{hi.bits} << 32) ^ lo.bits));
+}
+
+std::size_t Manager::unique_size() const noexcept {
+  std::size_t total = 0;
+  for (const SubTable& table : subtables_) total += table.count;
+  return total;
+}
+
+Edge Manager::var_edge(std::uint32_t v) {
+  assert(v < num_vars_);
+  return make_node(v, kOne, kZero);
+}
+
+Edge Manager::nvar_edge(std::uint32_t v) { return !var_edge(v); }
+
+Edge Manager::make_node(std::uint32_t var, Edge hi, Edge lo) {
+  if (hi == lo) return hi;  // deletion rule
+  assert(var < num_vars_);
+  assert(level_of_var(var) < level_of(hi) && level_of_var(var) < level_of(lo));
+  // Canonical complement form: stored hi edge is regular.
+  const bool out_complement = hi.complemented();
+  if (out_complement) {
+    hi = !hi;
+    lo = !lo;
+  }
+  const std::uint32_t index = unique_insert(var, hi, lo);
+  return Edge{index << 1}.complement_if(out_complement);
+}
+
+std::uint32_t Manager::unique_insert(std::uint32_t var, Edge hi, Edge lo) {
+  SubTable& table = subtables_[var];
+  const std::size_t h = node_hash(hi, lo) & (table.buckets.size() - 1);
+  for (std::uint32_t i = table.buckets[h]; i != kNilIndex; i = nodes_[i].next) {
+    const Node& n = nodes_[i];
+    if (n.hi == hi && n.lo == lo) return i;  // merging rule
+  }
+  std::uint32_t index;
+  if (!free_list_.empty()) {
+    index = free_list_.back();
+    free_list_.pop_back();
+  } else {
+    if (nodes_.size() >= (kNilIndex >> 1)) throw std::length_error("BDD node table full");
+    nodes_.emplace_back();
+    index = static_cast<std::uint32_t>(nodes_.size() - 1);
+  }
+  Node& n = nodes_[index];
+  n.var = var;
+  n.hi = hi;
+  n.lo = lo;
+  n.ref = 0;
+  n.next = table.buckets[h];
+  table.buckets[h] = index;
+  ++table.count;
+  ++dead_count_;
+  ref(hi);  // a stored node holds a reference on each child
+  ref(lo);
+  if (table.count > table.buckets.size()) grow_buckets(table);
+  return index;
+}
+
+void Manager::subtable_unlink(std::uint32_t index) {
+  Node& n = nodes_[index];
+  SubTable& table = subtables_[n.var];
+  const std::size_t h = node_hash(n.hi, n.lo) & (table.buckets.size() - 1);
+  std::uint32_t* link = &table.buckets[h];
+  while (*link != index) link = &nodes_[*link].next;
+  *link = n.next;
+  --table.count;
+}
+
+void Manager::subtable_link(std::uint32_t index) {
+  Node& n = nodes_[index];
+  SubTable& table = subtables_[n.var];
+  const std::size_t h = node_hash(n.hi, n.lo) & (table.buckets.size() - 1);
+  n.next = table.buckets[h];
+  table.buckets[h] = index;
+  ++table.count;
+  if (table.count > table.buckets.size()) grow_buckets(table);
+}
+
+void Manager::grow_buckets(SubTable& table) {
+  std::vector<std::uint32_t> fresh(table.buckets.size() * 2, kNilIndex);
+  for (std::uint32_t head : table.buckets) {
+    for (std::uint32_t i = head; i != kNilIndex;) {
+      const std::uint32_t next = nodes_[i].next;
+      const std::size_t h = node_hash(nodes_[i].hi, nodes_[i].lo) & (fresh.size() - 1);
+      nodes_[i].next = fresh[h];
+      fresh[h] = i;
+      i = next;
+    }
+  }
+  table.buckets = std::move(fresh);
+}
+
+void Manager::ref(Edge e) noexcept {
+  Node& n = nodes_[e.index()];
+  if (n.ref == 0xFFFF'FFFFu) return;  // saturated (terminal)
+  if (n.ref++ == 0) {
+    --dead_count_;
+    ++live_count_;
+  }
+}
+
+void Manager::deref(Edge e) noexcept {
+  Node& n = nodes_[e.index()];
+  if (n.ref == 0xFFFF'FFFFu) return;
+  assert(n.ref > 0);
+  if (--n.ref == 0) {
+    --live_count_;
+    ++dead_count_;
+  }
+}
+
+std::size_t Manager::garbage_collect() {
+  ++gc_runs_;
+  std::vector<std::uint32_t> work;
+  for (std::uint32_t i = 1; i < nodes_.size(); ++i) {
+    if (nodes_[i].var != kFreeVar && nodes_[i].ref == 0) work.push_back(i);
+  }
+  std::size_t freed = 0;
+  while (!work.empty()) {
+    const std::uint32_t i = work.back();
+    work.pop_back();
+    Node& n = nodes_[i];
+    if (n.var == kFreeVar) continue;  // already swept via another path
+    subtable_unlink(i);
+    // Cascade: release this node's references on its children.
+    for (const Edge child : {n.hi, n.lo}) {
+      Node& cn = nodes_[child.index()];
+      if (cn.ref == 0xFFFF'FFFFu) continue;
+      assert(cn.ref > 0);
+      if (--cn.ref == 0) {
+        --live_count_;
+        ++dead_count_;
+        work.push_back(child.index());
+      }
+    }
+    n.var = kFreeVar;
+    free_list_.push_back(i);
+    --dead_count_;
+    ++freed;
+  }
+  clear_caches();  // cached results may reference freed nodes
+  return freed;
+}
+
+void Manager::clear_caches() noexcept {
+  ++cache_epoch_;  // O(1): stale-epoch entries are ignored on lookup
+}
+
+bool Manager::cache_lookup(std::uint32_t op, Edge a, Edge b, Edge c,
+                           Edge* out) const noexcept {
+  const std::uint64_t k1 = (std::uint64_t{op} << 32) | a.bits;
+  const std::uint64_t k2 = (std::uint64_t{b.bits} << 32) | c.bits;
+  const CacheEntry& e = cache_[mix64(k1 ^ mix64(k2)) & cache_mask_];
+  if (e.k1 == k1 && e.k2 == k2 && e.epoch == cache_epoch_) {
+    *out = e.result;
+    return true;
+  }
+  return false;
+}
+
+void Manager::cache_insert(std::uint32_t op, Edge a, Edge b, Edge c,
+                           Edge result) noexcept {
+  const std::uint64_t k1 = (std::uint64_t{op} << 32) | a.bits;
+  const std::uint64_t k2 = (std::uint64_t{b.bits} << 32) | c.bits;
+  CacheEntry& e = cache_[mix64(k1 ^ mix64(k2)) & cache_mask_];
+  e.k1 = k1;
+  e.k2 = k2;
+  e.epoch = cache_epoch_;
+  e.result = result;
+}
+
+Edge Manager::ite(Edge f, Edge g, Edge h) {
+  // Terminal cases.
+  if (f == kOne) return g;
+  if (f == kZero) return h;
+  if (g == h) return g;
+  if (g == kOne && h == kZero) return f;
+  if (g == kZero && h == kOne) return !f;
+  // Replace g/h when they repeat f: ite(f, f, h) = ite(f, 1, h), etc.
+  if (f == g) g = kOne;
+  else if (f == !g) g = kZero;
+  if (f == h) h = kZero;
+  else if (f == !h) h = kOne;
+  if (g == h) return g;
+  if (g == kOne && h == kZero) return f;
+  if (g == kZero && h == kOne) return !f;
+
+  // Canonical triple: among equivalent argument forms pick the one whose
+  // first argument has the topmost variable (Brace/Rudell/Bryant).
+  const std::uint32_t lf = level_of(f);
+  if (g == kOne) {
+    if (level_of(h) < lf) std::swap(f, h);  // ite(f,1,h) == ite(h,1,f)
+  } else if (h == kZero) {
+    if (level_of(g) < lf) std::swap(f, g);  // ite(f,g,0) == ite(g,f,0)
+  } else if (h == kOne) {
+    if (level_of(g) < lf) {                 // ite(f,g,1) == ite(!g,!f,1)
+      const Edge nf = !g;
+      g = !f;
+      f = nf;
+    }
+  } else if (g == kZero) {
+    if (level_of(h) < lf) {                 // ite(f,0,h) == ite(!h,0,!f)
+      const Edge nf = !h;
+      h = !f;
+      f = nf;
+    }
+  } else if (g == !h) {
+    if (level_of(g) < lf) {                 // ite(f,g,!g) == ite(g,f,!f)
+      const Edge nf = g;
+      g = f;
+      f = nf;
+      h = !g;
+    }
+  }
+  // First argument regular.
+  if (f.complemented()) {
+    std::swap(g, h);
+    f = !f;
+  }
+  // Output complement: cache only results with a regular g.
+  const bool out_complement = g.complemented();
+  if (out_complement) {
+    g = !g;
+    h = !h;
+  }
+
+  Edge result;
+  if (cache_lookup(kOpIte, f, g, h, &result)) {
+    return result.complement_if(out_complement);
+  }
+
+  const std::uint32_t v = top_var(f, g, h);
+  const auto [f1, f0] = branches(f, v);
+  const auto [g1, g0] = branches(g, v);
+  const auto [h1, h0] = branches(h, v);
+  const Edge t = ite(f1, g1, h1);
+  const Edge e = ite(f0, g0, h0);
+  result = make_node(v, t, e);
+  cache_insert(kOpIte, f, g, h, result);
+  return result.complement_if(out_complement);
+}
+
+// ---------------------------------------------------------------------
+// Dynamic reordering (Rudell's sifting over in-place level swaps).
+// ---------------------------------------------------------------------
+
+std::ptrdiff_t Manager::swap_adjacent_levels(std::uint32_t level) {
+  assert(level + 1 < num_vars_);
+  const std::uint32_t x = level_to_var_[level];
+  const std::uint32_t y = level_to_var_[level + 1];
+  const std::ptrdiff_t before = static_cast<std::ptrdiff_t>(unique_size());
+
+  // Nodes labelled x that depend on y must be restructured; the rest keep
+  // their label and simply end up one level lower.
+  std::vector<std::uint32_t> interacting;
+  for (const std::uint32_t head : subtables_[x].buckets) {
+    for (std::uint32_t i = head; i != kNilIndex; i = nodes_[i].next) {
+      const Node& n = nodes_[i];
+      if (nodes_[n.hi.index()].var == y || nodes_[n.lo.index()].var == y) {
+        interacting.push_back(i);
+      }
+    }
+  }
+  // Flip the order maps first so make_node's level assertions see the new
+  // world while the x-children of the rewritten nodes are created.
+  level_to_var_[level] = y;
+  level_to_var_[level + 1] = x;
+  var_to_level_[x] = level + 1;
+  var_to_level_[y] = level;
+
+  std::vector<std::uint32_t> dead;
+  for (const std::uint32_t index : interacting) {
+    subtable_unlink(index);
+    const Edge f1 = nodes_[index].hi;  // regular by invariant
+    const Edge f0 = nodes_[index].lo;
+    const auto [f11, f10] = branches(f1, y);
+    const auto [f01, f00] = branches(f0, y);
+    // (x,(y,f11,f10),(y,f01,f00))  ==  (y,(x,f11,f01),(x,f10,f00))
+    const Edge g1 = make_node(x, f11, f01);
+    const Edge g0 = make_node(x, f10, f00);
+    assert(!g1.complemented());
+    ref(g1);
+    ref(g0);
+    Node& n = nodes_[index];  // re-fetch: make_node may have reallocated
+    n.var = y;
+    n.hi = g1;
+    n.lo = g0;
+    subtable_link(index);
+    deref(f1);
+    deref(f0);
+    if (nodes_[f1.index()].ref == 0) dead.push_back(f1.index());
+    if (nodes_[f0.index()].ref == 0) dead.push_back(f0.index());
+  }
+  // Free the ex-children that died, so repeated swaps (sifting) see an
+  // undistorted size signal and swap∘swap is the structural identity.
+  bool freed_any = false;
+  while (!dead.empty()) {
+    const std::uint32_t i = dead.back();
+    dead.pop_back();
+    Node& n = nodes_[i];
+    if (n.var == kFreeVar || n.ref != 0) continue;
+    subtable_unlink(i);
+    for (const Edge child : {n.hi, n.lo}) {
+      Node& cn = nodes_[child.index()];
+      if (cn.ref == 0xFFFF'FFFFu) continue;
+      if (--cn.ref == 0) {
+        --live_count_;
+        ++dead_count_;
+        dead.push_back(child.index());
+      }
+    }
+    n.var = kFreeVar;
+    free_list_.push_back(i);
+    --dead_count_;
+    freed_any = true;
+  }
+  // Freed slots may be referenced by memoized results; drop them (O(1)).
+  if (freed_any) clear_caches();
+  return static_cast<std::ptrdiff_t>(unique_size()) - before;
+}
+
+void Manager::sift_var(std::uint32_t var, double max_growth) {
+  if (num_vars_ < 2) return;
+  std::ptrdiff_t size = static_cast<std::ptrdiff_t>(unique_size());
+  std::ptrdiff_t best = size;
+  std::uint32_t best_level = level_of_var(var);
+  const std::ptrdiff_t limit =
+      static_cast<std::ptrdiff_t>(static_cast<double>(size) * max_growth) + 2;
+  // Downward pass.
+  while (level_of_var(var) + 1 < num_vars_ && size <= limit) {
+    size += swap_adjacent_levels(level_of_var(var));
+    if (size < best) {
+      best = size;
+      best_level = level_of_var(var);
+    }
+  }
+  // Upward pass (through the start position to the top).
+  while (level_of_var(var) > 0 && size <= limit) {
+    size += swap_adjacent_levels(level_of_var(var) - 1);
+    if (size <= best) {
+      best = size;
+      best_level = level_of_var(var);
+    }
+  }
+  // Settle at the best position seen.
+  while (level_of_var(var) < best_level) {
+    size += swap_adjacent_levels(level_of_var(var));
+  }
+  while (level_of_var(var) > best_level) {
+    size += swap_adjacent_levels(level_of_var(var) - 1);
+  }
+}
+
+std::size_t Manager::reorder_sift(double max_growth) {
+  garbage_collect();  // dead nodes would distort the size signal
+  std::vector<std::uint32_t> vars(num_vars_);
+  std::iota(vars.begin(), vars.end(), 0u);
+  std::stable_sort(vars.begin(), vars.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return subtables_[a].count > subtables_[b].count;
+  });
+  for (const std::uint32_t var : vars) sift_var(var, max_growth);
+  clear_caches();
+  return unique_size();
+}
+
+void Manager::set_order(std::span<const std::uint32_t> order) {
+  if (order.size() != num_vars_) {
+    throw std::invalid_argument("set_order: wrong permutation size");
+  }
+  std::vector<bool> seen(num_vars_, false);
+  for (const std::uint32_t v : order) {
+    if (v >= num_vars_ || seen[v]) {
+      throw std::invalid_argument("set_order: not a permutation");
+    }
+    seen[v] = true;
+  }
+  // Selection sort by adjacent swaps: bubble each target variable up.
+  for (std::uint32_t target = 0; target < num_vars_; ++target) {
+    const std::uint32_t var = order[target];
+    while (level_of_var(var) > target) {
+      (void)swap_adjacent_levels(level_of_var(var) - 1);
+    }
+  }
+  clear_caches();
+}
+
+void Manager::check_invariants() const {
+  const auto fail = [](const char* what) { throw std::logic_error(what); };
+  std::size_t counted = 0;
+  for (std::uint32_t var = 0; var < num_vars_; ++var) {
+    const SubTable& table = subtables_[var];
+    std::size_t chain_total = 0;
+    for (const std::uint32_t head : table.buckets) {
+      for (std::uint32_t i = head; i != kNilIndex; i = nodes_[i].next) {
+        const Node& n = nodes_[i];
+        ++chain_total;
+        if (n.var != var) fail("node filed under the wrong subtable");
+        if (n.hi.complemented()) fail("stored hi edge is complemented");
+        if (n.hi == n.lo) fail("unreduced node (deletion rule violated)");
+        if (level_of_var(var) >= level_of(n.hi) ||
+            level_of_var(var) >= level_of(n.lo)) {
+          fail("order violation: child above parent");
+        }
+      }
+    }
+    if (chain_total != table.count) fail("subtable count mismatch");
+    counted += chain_total;
+  }
+  if (counted + 1 != live_count_ + dead_count_) {
+    fail("live/dead accounting mismatch");
+  }
+}
+
+}  // namespace bddmin

@@ -1,0 +1,205 @@
+/// \file manager.hpp
+/// \brief ROBDD manager: node storage, unique table, computed cache, ITE,
+/// and dynamic variable reordering.
+///
+/// A single Manager owns all nodes for one variable order, mirroring the
+/// package of Brace/Rudell/Bryant used in the DAC'94 paper.  Reduction is
+/// implicit: make_node() applies the deletion rule (equal children) and
+/// the merging rule (per-variable unique subtables), and keeps the
+/// canonical complement-edge invariant (stored `hi` edges are never
+/// complemented).
+///
+/// Variables vs levels: a variable index is a stable *name*; its position
+/// in the order is its *level* (level 0 topmost).  Initially variable v
+/// sits at level v.  Rudell-style sifting (reorder_sift) and set_order()
+/// permute levels in place: every existing edge keeps denoting the same
+/// function over the same variable names.
+///
+/// Memory discipline: plain Edge values are unprotected.  Operations never
+/// trigger garbage collection on their own; dead intermediate nodes
+/// accumulate until garbage_collect() is called explicitly (the experiment
+/// harness does so between heuristics, exactly as the paper flushes caches
+/// for fair timing).  Hold roots across a GC with ref()/deref() or the
+/// RAII bddmin::Bdd handle.  Reordering additionally requires that all
+/// *live* functions are reachable from referenced roots.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "bdd/edge.hpp"
+#include "bdd/node.hpp"
+
+namespace bddmin {
+
+class Manager {
+ public:
+  /// Create a manager over \p num_vars variables.
+  /// \param cache_log2 log2 of the computed-cache slot count.
+  explicit Manager(unsigned num_vars, unsigned cache_log2 = 18);
+
+  Manager(const Manager&) = delete;
+  Manager& operator=(const Manager&) = delete;
+
+  // ---- Variables and levels --------------------------------------------
+  [[nodiscard]] unsigned num_vars() const noexcept { return num_vars_; }
+  /// Append a fresh variable at the bottom of the order; returns its index.
+  unsigned add_var();
+  /// Level currently occupied by variable \p var (0 = topmost).
+  [[nodiscard]] std::uint32_t level_of_var(std::uint32_t var) const noexcept {
+    return var_to_level_[var];
+  }
+  /// Variable sitting at \p level.
+  [[nodiscard]] std::uint32_t var_at_level(std::uint32_t level) const noexcept {
+    return level_to_var_[level];
+  }
+  /// Level of an edge's top variable; constants sit below everything
+  /// (kConstVar, which compares greater than every real level).
+  [[nodiscard]] std::uint32_t level_of(Edge e) const noexcept {
+    const std::uint32_t v = var_of(e);
+    return v == kConstVar ? kConstVar : var_to_level_[v];
+  }
+  /// The topmost (smallest-level) variable among the two edges' top
+  /// variables; kConstVar if both are constants.
+  [[nodiscard]] std::uint32_t top_var(Edge a, Edge b) const noexcept {
+    return level_of(a) <= level_of(b) ? var_of(a) : var_of(b);
+  }
+  [[nodiscard]] std::uint32_t top_var(Edge a, Edge b, Edge c) const noexcept {
+    const Edge ab = level_of(a) <= level_of(b) ? a : b;
+    return top_var(ab, c);
+  }
+
+  // ---- Structural access ---------------------------------------------
+  [[nodiscard]] static Edge one() noexcept { return kOne; }
+  [[nodiscard]] static Edge zero() noexcept { return kZero; }
+  /// The single-variable function x_v.
+  [[nodiscard]] Edge var_edge(std::uint32_t v);
+  /// The complemented literal !x_v.
+  [[nodiscard]] Edge nvar_edge(std::uint32_t v);
+
+  [[nodiscard]] std::uint32_t var_of(Edge e) const noexcept { return nodes_[e.index()].var; }
+  [[nodiscard]] static bool is_const(Edge e) noexcept { return e.index() == 0; }
+  /// Cofactor at this edge's own top variable set to 1 (complement pushed).
+  [[nodiscard]] Edge hi_of(Edge e) const noexcept {
+    return nodes_[e.index()].hi.complement_if(e.complemented());
+  }
+  /// Cofactor at this edge's own top variable set to 0 (complement pushed).
+  [[nodiscard]] Edge lo_of(Edge e) const noexcept {
+    return nodes_[e.index()].lo.complement_if(e.complemented());
+  }
+  /// {hi, lo} cofactors of \p f with respect to variable \p v: if f's top
+  /// variable is v the children are returned, otherwise {f, f}.  This is
+  /// the paper's `bdd_get_branches` keeping lock-step traversals aligned.
+  [[nodiscard]] std::pair<Edge, Edge> branches(Edge f, std::uint32_t v) const noexcept {
+    if (var_of(f) == v) return {hi_of(f), lo_of(f)};
+    return {f, f};
+  }
+  /// Find-or-create the reduced node (var, hi, lo).  Applies the deletion
+  /// rule and canonicalizes complement edges; the result may be an edge to
+  /// an existing node.  Precondition: var's level is above both children.
+  [[nodiscard]] Edge make_node(std::uint32_t var, Edge hi, Edge lo);
+
+  // ---- Boolean operations ---------------------------------------------
+  [[nodiscard]] Edge ite(Edge f, Edge g, Edge h);
+  [[nodiscard]] Edge and_(Edge f, Edge g) { return ite(f, g, kZero); }
+  [[nodiscard]] Edge or_(Edge f, Edge g) { return ite(f, kOne, g); }
+  [[nodiscard]] Edge xor_(Edge f, Edge g) { return ite(f, !g, g); }
+  [[nodiscard]] Edge xnor_(Edge f, Edge g) { return ite(f, g, !g); }
+  [[nodiscard]] Edge diff(Edge f, Edge g) { return ite(f, !g, kZero); }
+  [[nodiscard]] Edge implies(Edge f, Edge g) { return ite(f, g, kOne); }
+  /// f <= g as functions (f implies g everywhere).
+  [[nodiscard]] bool leq(Edge f, Edge g) { return diff(f, g) == kZero; }
+  /// f and g have no common minterm.
+  [[nodiscard]] bool disjoint(Edge f, Edge g) { return and_(f, g) == kZero; }
+
+  // ---- Reference counting & garbage collection -------------------------
+  void ref(Edge e) noexcept;
+  void deref(Edge e) noexcept;
+  /// Sweep all nodes with a zero reference count (cascading to children),
+  /// clear the computed cache, and recycle indices.  Returns nodes freed.
+  std::size_t garbage_collect();
+  /// Drop all memoized operation results (the paper's "flush the caches").
+  void clear_caches() noexcept;
+
+  [[nodiscard]] std::size_t live_nodes() const noexcept { return live_count_; }
+  [[nodiscard]] std::size_t dead_nodes() const noexcept { return dead_count_; }
+  [[nodiscard]] std::size_t allocated_nodes() const noexcept { return nodes_.size(); }
+  [[nodiscard]] std::uint64_t gc_runs() const noexcept { return gc_runs_; }
+  /// Nodes currently labelled with \p var (live or dead).
+  [[nodiscard]] std::size_t nodes_at_var(std::uint32_t var) const noexcept {
+    return subtables_[var].count;
+  }
+  /// Total nodes in the unique tables (live or dead, excl. terminal).
+  [[nodiscard]] std::size_t unique_size() const noexcept;
+
+  // ---- Dynamic reordering ----------------------------------------------
+  /// Swap the variables at \p level and level+1 in place: every existing
+  /// edge keeps its function.  Returns the table-size delta.
+  std::ptrdiff_t swap_adjacent_levels(std::uint32_t level);
+  /// Sift a single variable to its locally optimal level (Rudell).
+  void sift_var(std::uint32_t var, double max_growth = 1.2);
+  /// Sift all variables once, largest subtable first.  Dead nodes are
+  /// collected first.  Returns the resulting unique table size.
+  std::size_t reorder_sift(double max_growth = 1.2);
+  /// Establish an explicit order: \p order lists variables top to bottom.
+  void set_order(std::span<const std::uint32_t> order);
+  /// Current order, top to bottom.
+  [[nodiscard]] std::vector<std::uint32_t> current_order() const {
+    return level_to_var_;
+  }
+
+  // ---- Computed cache (shared with client algorithms) ------------------
+  /// Operation tags below this value are reserved for the manager itself;
+  /// client algorithms (the minimization heuristics) use tags >= this.
+  static constexpr std::uint32_t kUserOpBase = 64;
+  [[nodiscard]] bool cache_lookup(std::uint32_t op, Edge a, Edge b, Edge c,
+                                  Edge* out) const noexcept;
+  void cache_insert(std::uint32_t op, Edge a, Edge b, Edge c, Edge result) noexcept;
+
+  // ---- Introspection for debugging --------------------------------------
+  [[nodiscard]] const Node& node_at(std::uint32_t index) const { return nodes_[index]; }
+  /// Structural invariant check (canonical hi edges, ordered levels,
+  /// consistent subtable membership); throws std::logic_error on failure.
+  void check_invariants() const;
+
+ private:
+  enum Op : std::uint32_t {
+    kOpIte = 1,
+  };
+
+  struct CacheEntry {
+    std::uint64_t k1 = ~0ull;   // (op << 32) | a.bits; ~0 marks an empty slot
+    std::uint64_t k2 = 0;       // (b.bits << 32) | c.bits
+    std::uint64_t epoch = 0;    // entries from older epochs are invalid
+    Edge result{};
+  };
+
+  /// Per-variable unique subtable (open hashing, chained via Node::next).
+  struct SubTable {
+    std::vector<std::uint32_t> buckets;
+    std::size_t count = 0;
+  };
+
+  [[nodiscard]] std::uint32_t unique_insert(std::uint32_t var, Edge hi, Edge lo);
+  void subtable_unlink(std::uint32_t index);
+  void subtable_link(std::uint32_t index);
+  void grow_buckets(SubTable& table);
+  [[nodiscard]] static std::size_t node_hash(Edge hi, Edge lo) noexcept;
+
+  unsigned num_vars_;
+  std::vector<Node> nodes_;
+  std::vector<SubTable> subtables_;          // one per variable
+  std::vector<std::uint32_t> var_to_level_;
+  std::vector<std::uint32_t> level_to_var_;
+  std::vector<std::uint32_t> free_list_;     // recycled node indices
+  std::vector<CacheEntry> cache_;
+  std::size_t cache_mask_;
+  std::size_t live_count_ = 0;  // nodes with ref > 0
+  std::size_t dead_count_ = 0;  // allocated nodes with ref == 0
+  std::uint64_t gc_runs_ = 0;
+  std::uint64_t cache_epoch_ = 0;  // bumped to invalidate the whole cache
+};
+
+}  // namespace bddmin

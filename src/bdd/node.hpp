@@ -1,0 +1,22 @@
+/// \file node.hpp
+/// \brief In-table BDD node record.
+#pragma once
+
+#include <cstdint>
+
+#include "bdd/edge.hpp"
+
+namespace bddmin {
+
+/// One decision node.  Canonical form: the `hi` ("then") edge of a stored
+/// node is never complemented; complements are pushed to the `lo` edge and
+/// to incoming edges.  The terminal node has `var == kConstVar`.
+struct Node {
+  std::uint32_t var = kConstVar;  ///< decision variable (== level; fixed order)
+  Edge hi{};                      ///< cofactor at var=1, always regular
+  Edge lo{};                      ///< cofactor at var=0
+  std::uint32_t next = kNilIndex; ///< unique-table chain link
+  std::uint32_t ref = 0;          ///< external+child reference count (saturating)
+};
+
+}  // namespace bddmin

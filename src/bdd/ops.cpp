@@ -1,0 +1,292 @@
+#include "bdd/ops.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace bddmin {
+namespace {
+
+// Manager-internal cache tags (must stay below Manager::kUserOpBase and
+// distinct from tags used inside manager.cpp).
+enum Op : std::uint32_t {
+  kOpCofactor = 8,
+  kOpExists = 9,
+  kOpAndExists = 10,
+  kOpCompose = 11,
+};
+
+/// Drop leading cube variables that sit above \p level in the order: they
+/// cannot appear in the operand, so quantifying them is a no-op.
+Edge skip_cube_above(const Manager& mgr, Edge cube, std::uint32_t level) {
+  while (cube != kOne && mgr.level_of(cube) < level) cube = mgr.hi_of(cube);
+  return cube;
+}
+
+}  // namespace
+
+Edge cofactor(Manager& mgr, Edge f, std::uint32_t var, bool value) {
+  if (Manager::is_const(f) || mgr.level_of(f) > mgr.level_of_var(var)) return f;
+  if (mgr.var_of(f) == var) return value ? mgr.hi_of(f) : mgr.lo_of(f);
+  const Edge key{(var << 1) | static_cast<std::uint32_t>(value)};
+  Edge result;
+  if (mgr.cache_lookup(kOpCofactor, f, key, kOne, &result)) return result;
+  const Edge t = cofactor(mgr, mgr.hi_of(f), var, value);
+  const Edge e = cofactor(mgr, mgr.lo_of(f), var, value);
+  result = mgr.make_node(mgr.var_of(f), t, e);
+  mgr.cache_insert(kOpCofactor, f, key, kOne, result);
+  return result;
+}
+
+Edge cofactor_cube(Manager& mgr, Edge f, Edge cube) {
+  assert(cube != kZero);
+  while (cube != kOne) {
+    const std::uint32_t v = mgr.var_of(cube);
+    const Edge hi = mgr.hi_of(cube);
+    const Edge lo = mgr.lo_of(cube);
+    const bool positive = lo == kZero;
+    assert(positive || hi == kZero);  // each level of a cube kills one child
+    f = cofactor(mgr, f, v, positive);
+    cube = positive ? hi : lo;
+  }
+  return f;
+}
+
+Edge exists(Manager& mgr, Edge f, Edge cube) {
+  assert(cube != kZero);
+  if (Manager::is_const(f)) return f;
+  cube = skip_cube_above(mgr, cube, mgr.level_of(f));
+  if (cube == kOne) return f;
+  Edge result;
+  if (mgr.cache_lookup(kOpExists, f, cube, kOne, &result)) return result;
+  const std::uint32_t v = mgr.var_of(f);
+  const bool quantify_here = mgr.var_of(cube) == v;
+  const Edge next_cube = quantify_here ? mgr.hi_of(cube) : cube;
+  const Edge t = exists(mgr, mgr.hi_of(f), next_cube);
+  if (quantify_here && t == kOne) {
+    result = kOne;  // short circuit: t | anything == 1
+  } else {
+    const Edge e = exists(mgr, mgr.lo_of(f), next_cube);
+    result = quantify_here ? mgr.or_(t, e) : mgr.make_node(v, t, e);
+  }
+  mgr.cache_insert(kOpExists, f, cube, kOne, result);
+  return result;
+}
+
+Edge forall(Manager& mgr, Edge f, Edge cube) { return !exists(mgr, !f, cube); }
+
+Edge and_exists(Manager& mgr, Edge f, Edge g, Edge cube) {
+  if (f == kZero || g == kZero) return kZero;
+  if (f == kOne && g == kOne) return kOne;
+  const std::uint32_t v = mgr.top_var(f, g);
+  cube = skip_cube_above(mgr, cube, mgr.level_of_var(v));
+  if (cube == kOne) return mgr.and_(f, g);
+  if (f.bits > g.bits) std::swap(f, g);  // AND is commutative; canonical key
+  Edge result;
+  if (mgr.cache_lookup(kOpAndExists, f, g, cube, &result)) return result;
+  const auto [f1, f0] = mgr.branches(f, v);
+  const auto [g1, g0] = mgr.branches(g, v);
+  if (mgr.var_of(cube) == v) {
+    const Edge next_cube = mgr.hi_of(cube);
+    const Edge t = and_exists(mgr, f1, g1, next_cube);
+    result = (t == kOne) ? kOne : mgr.or_(t, and_exists(mgr, f0, g0, next_cube));
+  } else {
+    const Edge t = and_exists(mgr, f1, g1, cube);
+    const Edge e = and_exists(mgr, f0, g0, cube);
+    result = mgr.make_node(v, t, e);
+  }
+  mgr.cache_insert(kOpAndExists, f, g, cube, result);
+  return result;
+}
+
+Edge compose(Manager& mgr, Edge f, std::uint32_t var, Edge g) {
+  if (Manager::is_const(f) || mgr.level_of(f) > mgr.level_of_var(var)) return f;
+  if (mgr.var_of(f) == var) return mgr.ite(g, mgr.hi_of(f), mgr.lo_of(f));
+  const Edge key{var << 1};
+  Edge result;
+  if (mgr.cache_lookup(kOpCompose, f, g, key, &result)) return result;
+  const Edge t = compose(mgr, mgr.hi_of(f), var, g);
+  const Edge e = compose(mgr, mgr.lo_of(f), var, g);
+  // g may depend on variables above f's top variable, so recombine with a
+  // full ITE rather than make_node.
+  result = mgr.ite(mgr.make_node(mgr.var_of(f), kOne, kZero), t, e);
+  mgr.cache_insert(kOpCompose, f, g, key, result);
+  return result;
+}
+
+namespace {
+
+Edge vector_compose_rec(Manager& mgr, Edge f, std::span<const Edge> map,
+                        std::unordered_map<std::uint32_t, Edge>& memo) {
+  if (Manager::is_const(f)) return f;
+  if (const auto it = memo.find(f.bits); it != memo.end()) return it->second;
+  const std::uint32_t v = mgr.var_of(f);
+  const Edge t = vector_compose_rec(mgr, mgr.hi_of(f), map, memo);
+  const Edge e = vector_compose_rec(mgr, mgr.lo_of(f), map, memo);
+  const Edge sel = (v < map.size()) ? map[v] : mgr.var_edge(v);
+  const Edge result = mgr.ite(sel, t, e);
+  memo.emplace(f.bits, result);
+  return result;
+}
+
+}  // namespace
+
+Edge vector_compose(Manager& mgr, Edge f, std::span<const Edge> map) {
+  std::unordered_map<std::uint32_t, Edge> memo;
+  return vector_compose_rec(mgr, f, map, memo);
+}
+
+std::vector<std::uint32_t> support(const Manager& mgr, Edge f) {
+  std::unordered_set<std::uint32_t> visited;
+  std::unordered_set<std::uint32_t> vars;
+  std::vector<Edge> stack{f};
+  while (!stack.empty()) {
+    const Edge e = stack.back();
+    stack.pop_back();
+    if (Manager::is_const(e) || !visited.insert(e.index()).second) continue;
+    vars.insert(mgr.var_of(e));
+    stack.push_back(mgr.hi_of(e));
+    stack.push_back(mgr.lo_of(e));
+  }
+  std::vector<std::uint32_t> out(vars.begin(), vars.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Edge support_cube(Manager& mgr, Edge f) {
+  const std::vector<std::uint32_t> vars = support(mgr, f);
+  return positive_cube(mgr, vars);
+}
+
+bool depends_on(const Manager& mgr, Edge f, std::uint32_t var) {
+  std::unordered_set<std::uint32_t> visited;
+  std::vector<Edge> stack{f};
+  while (!stack.empty()) {
+    const Edge e = stack.back();
+    stack.pop_back();
+    if (Manager::is_const(e) || mgr.level_of(e) > mgr.level_of_var(var)) continue;
+    if (!visited.insert(e.index()).second) continue;
+    if (mgr.var_of(e) == var) return true;
+    stack.push_back(mgr.hi_of(e));
+    stack.push_back(mgr.lo_of(e));
+  }
+  return false;
+}
+
+namespace {
+
+/// Fraction of the full space satisfying the function rooted at a regular
+/// edge; complements handled by p(!e) = 1 - p(e).
+double sat_fraction(const Manager& mgr, Edge e,
+                    std::unordered_map<std::uint32_t, double>& memo) {
+  const bool neg = e.complemented();
+  const Edge r = e.regular();
+  double p;
+  if (r == kOne) {
+    p = 1.0;
+  } else if (const auto it = memo.find(r.bits); it != memo.end()) {
+    p = it->second;
+  } else {
+    p = 0.5 * sat_fraction(mgr, mgr.hi_of(r), memo) +
+        0.5 * sat_fraction(mgr, mgr.lo_of(r), memo);
+    memo.emplace(r.bits, p);
+  }
+  return neg ? 1.0 - p : p;
+}
+
+}  // namespace
+
+double sat_count(const Manager& mgr, Edge f, unsigned num_vars) {
+  std::unordered_map<std::uint32_t, double> memo;
+  return sat_fraction(mgr, f, memo) * std::ldexp(1.0, static_cast<int>(num_vars));
+}
+
+double sat_fraction(const Manager& mgr, Edge f) {
+  std::unordered_map<std::uint32_t, double> memo;
+  return sat_fraction(mgr, f, memo);
+}
+
+std::size_t count_nodes(const Manager& mgr, Edge f) {
+  return count_nodes(mgr, std::span<const Edge>{&f, 1});
+}
+
+std::size_t count_nodes(const Manager& mgr, std::span<const Edge> roots) {
+  std::unordered_set<std::uint32_t> visited;
+  std::vector<Edge> stack(roots.begin(), roots.end());
+  while (!stack.empty()) {
+    const Edge e = stack.back();
+    stack.pop_back();
+    if (!visited.insert(e.index()).second) continue;
+    if (Manager::is_const(e)) continue;
+    stack.push_back(mgr.hi_of(e));
+    stack.push_back(mgr.lo_of(e));
+  }
+  // The terminal is reachable from every function, but guard anyway.
+  visited.insert(0);
+  return visited.size();
+}
+
+std::size_t count_nodes_below(const Manager& mgr, Edge f, std::uint32_t level) {
+  std::unordered_set<std::uint32_t> visited;
+  std::size_t below = 1;  // the terminal node is below every level
+  std::vector<Edge> stack{f};
+  while (!stack.empty()) {
+    const Edge e = stack.back();
+    stack.pop_back();
+    if (Manager::is_const(e) || !visited.insert(e.index()).second) continue;
+    if (mgr.level_of(e) > level) ++below;
+    stack.push_back(mgr.hi_of(e));
+    stack.push_back(mgr.lo_of(e));
+  }
+  return below;
+}
+
+bool eval(const Manager& mgr, Edge f, const std::vector<bool>& assignment) {
+  while (!Manager::is_const(f)) {
+    const std::uint32_t v = mgr.var_of(f);
+    assert(v < assignment.size());
+    f = assignment[v] ? mgr.hi_of(f) : mgr.lo_of(f);
+  }
+  return f == kOne;
+}
+
+Edge cube_of(Manager& mgr, std::span<const std::uint32_t> vars,
+             const std::vector<bool>& phase) {
+  assert(vars.size() == phase.size());
+  std::vector<std::size_t> order(vars.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return mgr.level_of_var(vars[a]) > mgr.level_of_var(vars[b]);
+  });
+  Edge cube = kOne;  // build bottom-up so each step is a single make_node
+  for (const std::size_t i : order) {
+    cube = phase[i] ? mgr.make_node(vars[i], cube, kZero)
+                    : mgr.make_node(vars[i], kZero, cube);
+  }
+  return cube;
+}
+
+Edge positive_cube(Manager& mgr, std::span<const std::uint32_t> vars) {
+  const std::vector<bool> phase(vars.size(), true);
+  return cube_of(mgr, vars, phase);
+}
+
+bool is_cube(const Manager& mgr, Edge f) {
+  if (f == kZero) return false;
+  while (f != kOne) {
+    const Edge hi = mgr.hi_of(f);
+    const Edge lo = mgr.lo_of(f);
+    if (lo == kZero) {
+      f = hi;
+    } else if (hi == kZero) {
+      f = lo;
+    } else {
+      return false;  // both children alive: more than one path to 1
+    }
+  }
+  return true;
+}
+
+}  // namespace bddmin

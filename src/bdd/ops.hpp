@@ -1,0 +1,84 @@
+/// \file ops.hpp
+/// \brief Derived BDD operations: cofactors, quantification, composition,
+/// support, counting.  All are free functions over raw edges; none of them
+/// triggers garbage collection.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bdd/manager.hpp"
+
+namespace bddmin {
+
+/// Cofactor of f with variable \p var fixed to \p value (Shannon cofactor
+/// at any depth, not just the root).
+[[nodiscard]] Edge cofactor(Manager& mgr, Edge f, std::uint32_t var, bool value);
+
+/// Cofactor with respect to a cube (a conjunction of literals).
+[[nodiscard]] Edge cofactor_cube(Manager& mgr, Edge f, Edge cube);
+
+/// Existential quantification of the variables of \p cube from f.
+[[nodiscard]] Edge exists(Manager& mgr, Edge f, Edge cube);
+
+/// Universal quantification of the variables of \p cube from f.
+[[nodiscard]] Edge forall(Manager& mgr, Edge f, Edge cube);
+
+/// Relational product exists(cube, f & g) computed in one pass — the
+/// workhorse of symbolic image computation.
+[[nodiscard]] Edge and_exists(Manager& mgr, Edge f, Edge g, Edge cube);
+
+/// Substitute function \p g for variable \p var in f.
+[[nodiscard]] Edge compose(Manager& mgr, Edge f, std::uint32_t var, Edge g);
+
+/// Simultaneous substitution: variable v is replaced by map[v] for each
+/// v < map.size(); variables beyond the map are kept.
+[[nodiscard]] Edge vector_compose(Manager& mgr, Edge f, std::span<const Edge> map);
+
+/// Sorted list of variables f depends on.
+[[nodiscard]] std::vector<std::uint32_t> support(const Manager& mgr, Edge f);
+
+/// Support as a positive cube (conjunction of the support variables).
+[[nodiscard]] Edge support_cube(Manager& mgr, Edge f);
+
+/// True if f depends on \p var.
+[[nodiscard]] bool depends_on(const Manager& mgr, Edge f, std::uint32_t var);
+
+/// Number of satisfying assignments over \p num_vars variables (double
+/// precision; exact for small spaces).
+[[nodiscard]] double sat_count(const Manager& mgr, Edge f, unsigned num_vars);
+
+/// Fraction of the Boolean space on which f is 1, in [0, 1].  Independent
+/// of the variable count: variables outside f's support scale onset and
+/// space alike.
+[[nodiscard]] double sat_fraction(const Manager& mgr, Edge f);
+
+/// Node count of f including the terminal node (the paper's |f|).
+[[nodiscard]] std::size_t count_nodes(const Manager& mgr, Edge f);
+
+/// Node count of the shared forest rooted at \p roots, incl. the terminal.
+[[nodiscard]] std::size_t count_nodes(const Manager& mgr, std::span<const Edge> roots);
+
+/// Ni(f) of Definition 11: number of nodes strictly below level i, i.e.
+/// nodes whose variable sits at a level > \p level, plus the terminal node.
+[[nodiscard]] std::size_t count_nodes_below(const Manager& mgr, Edge f,
+                                            std::uint32_t level);
+
+/// Evaluate f at a complete assignment (index v -> value of x_v).
+[[nodiscard]] bool eval(const Manager& mgr, Edge f, const std::vector<bool>& assignment);
+
+/// Build the conjunction of literals: vars[i] in positive (phase[i]=true)
+/// or negative phase.
+[[nodiscard]] Edge cube_of(Manager& mgr, std::span<const std::uint32_t> vars,
+                           const std::vector<bool>& phase);
+
+/// Positive cube over a variable list (all literals positive).
+[[nodiscard]] Edge positive_cube(Manager& mgr, std::span<const std::uint32_t> vars);
+
+/// True if f is a cube: exactly one path to the 1 terminal... i.e. a
+/// conjunction of literals (f != 0 and every node has a constant-0 child
+/// on one side along the single care path).
+[[nodiscard]] bool is_cube(const Manager& mgr, Edge f);
+
+}  // namespace bddmin

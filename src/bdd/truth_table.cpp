@@ -1,0 +1,64 @@
+#include "bdd/truth_table.hpp"
+
+#include <cassert>
+#include <vector>
+
+#include "bdd/ops.hpp"
+
+namespace bddmin {
+namespace {
+
+/// Recursive Shannon construction on the minterm range [lo, lo + 2^(n-var))
+/// where all variables < var are already decided.  Splitting on the highest
+/// remaining variable keeps each recursion a contiguous bit range.
+Edge from_tt_rec(Manager& mgr, std::uint64_t tt, unsigned n, unsigned var) {
+  if (var == n) return (tt & 1) ? kOne : kZero;
+  // Cofactor on x_var: since x_v is bit v of the minterm index, the x_var=1
+  // half of the table is the odd strides of width 2^var.  Recurse on the
+  // *top* variable of the remaining order to keep make_node valid, so peel
+  // variables from x0 upward by de-interleaving bit var=current.
+  const unsigned width = 1u << (n - var - 1);
+  std::uint64_t hi_tt = 0;
+  std::uint64_t lo_tt = 0;
+  for (unsigned m = 0; m < width; ++m) {
+    // Re-pack minterms of the (n-var-1)-variable cofactors: insert the
+    // remaining variables' bits unchanged, dropping bit position 0 (= x_var
+    // in the shifted index space).
+    const std::uint64_t src_hi = (tt >> (2 * m + 1)) & 1;
+    const std::uint64_t src_lo = (tt >> (2 * m)) & 1;
+    hi_tt |= src_hi << m;
+    lo_tt |= src_lo << m;
+  }
+  const Edge t = from_tt_rec(mgr, hi_tt, n, var + 1);
+  const Edge e = from_tt_rec(mgr, lo_tt, n, var + 1);
+  // Recombine with ITE rather than make_node: the manager's variable
+  // order may have been permuted by reordering.
+  return mgr.ite(mgr.var_edge(var), t, e);
+}
+
+}  // namespace
+
+Edge from_tt(Manager& mgr, std::uint64_t tt, unsigned n) {
+  assert(n <= kMaxTtVars);
+  assert(mgr.num_vars() >= n);
+  tt &= tt_mask(n);
+  return from_tt_rec(mgr, tt, n, 0);
+}
+
+std::uint64_t to_tt(const Manager& mgr, Edge f, unsigned n) {
+  assert(n <= kMaxTtVars);
+  std::uint64_t tt = 0;
+  std::vector<bool> assignment(mgr.num_vars(), false);
+  for (std::uint64_t m = 0; m < (1ull << n); ++m) {
+    for (unsigned v = 0; v < n; ++v) assignment[v] = (m >> v) & 1;
+    if (eval(mgr, f, assignment)) tt |= 1ull << m;
+  }
+  return tt;
+}
+
+std::size_t tt_bdd_size(std::uint64_t tt, unsigned n) {
+  Manager scratch(n, /*cache_log2=*/12);
+  return count_nodes(scratch, from_tt(scratch, tt, n));
+}
+
+}  // namespace bddmin

@@ -1,0 +1,36 @@
+/// \file truth_table.hpp
+/// \brief Bridge between small functions (n <= 6 variables) and 64-bit
+/// truth tables.  Used as the exhaustive oracle by the test suite and by
+/// the exact minimizer.
+///
+/// Convention: minterm index m encodes the assignment where variable x_v
+/// takes bit v of m (x0 is the least significant bit); bit m of the truth
+/// table is the function value at that assignment.
+#pragma once
+
+#include <cstdint>
+
+#include "bdd/manager.hpp"
+
+namespace bddmin {
+
+/// Maximum variable count representable in a 64-bit truth table.
+inline constexpr unsigned kMaxTtVars = 6;
+
+/// Mask selecting the 2^n valid truth-table bits.
+[[nodiscard]] constexpr std::uint64_t tt_mask(unsigned n) noexcept {
+  return (n >= kMaxTtVars) ? ~0ull : ((1ull << (1u << n)) - 1);
+}
+
+/// Build the BDD of a truth table over n variables.
+[[nodiscard]] Edge from_tt(Manager& mgr, std::uint64_t tt, unsigned n);
+
+/// Evaluate a BDD into a truth table over n variables (f must only depend
+/// on x0..x(n-1)).
+[[nodiscard]] std::uint64_t to_tt(const Manager& mgr, Edge f, unsigned n);
+
+/// Size |g| of the ROBDD of a truth table without polluting a long-lived
+/// manager (builds in a scratch manager).
+[[nodiscard]] std::size_t tt_bdd_size(std::uint64_t tt, unsigned n);
+
+}  // namespace bddmin

@@ -1,0 +1,111 @@
+#include "fsm/encoding.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "bdd/ops.hpp"
+
+namespace bddmin::fsm {
+
+Edge state_code(Manager& mgr, std::span<const std::uint32_t> state_vars,
+                std::size_t index) {
+  Edge code = kOne;
+  for (std::size_t b = state_vars.size(); b-- > 0;) {
+    const Edge lit = ((index >> b) & 1) ? mgr.var_edge(state_vars[b])
+                                        : mgr.nvar_edge(state_vars[b]);
+    code = mgr.and_(code, lit);
+  }
+  return code;
+}
+
+Edge pattern_cube(Manager& mgr, std::span<const std::uint32_t> vars,
+                  std::string_view pattern) {
+  assert(vars.size() == pattern.size());
+  Edge cube = kOne;
+  for (std::size_t i = pattern.size(); i-- > 0;) {
+    if (pattern[i] == '-') continue;
+    const Edge lit =
+        pattern[i] == '1' ? mgr.var_edge(vars[i]) : mgr.nvar_edge(vars[i]);
+    cube = mgr.and_(cube, lit);
+  }
+  return cube;
+}
+
+SymbolicFsm encode_fsm(Manager& mgr, const Fsm& fsm,
+                       std::span<const std::uint32_t> input_vars,
+                       std::span<const std::uint32_t> state_vars) {
+  if (input_vars.size() != fsm.num_inputs ||
+      state_vars.size() < fsm.state_bits()) {
+    throw std::invalid_argument(fsm.name + ": variable layout mismatch");
+  }
+  SymbolicFsm sym;
+  sym.input_vars.assign(input_vars.begin(), input_vars.end());
+  sym.state_vars.assign(state_vars.begin(), state_vars.end());
+  const std::size_t bits = state_vars.size();
+  sym.next_state.assign(bits, kZero);
+  sym.outputs.assign(fsm.num_outputs, kZero);
+
+  Edge covered = kZero;  // (state, input) pairs with an explicit transition
+  for (const Transition& t : fsm.transitions) {
+    const Edge cond =
+        mgr.and_(pattern_cube(mgr, input_vars, t.input),
+                 state_code(mgr, state_vars, fsm.state_index(t.from)));
+    covered = mgr.or_(covered, cond);
+    const std::size_t to = fsm.state_index(t.to);
+    for (std::size_t b = 0; b < bits; ++b) {
+      if ((to >> b) & 1) sym.next_state[b] = mgr.or_(sym.next_state[b], cond);
+    }
+    for (unsigned j = 0; j < fsm.num_outputs; ++j) {
+      if (t.output[j] == '1') sym.outputs[j] = mgr.or_(sym.outputs[j], cond);
+    }
+  }
+  // Deterministic completion: uncovered (state, input) pairs self-loop.
+  const Edge uncovered = !covered;
+  for (std::size_t b = 0; b < bits; ++b) {
+    sym.next_state[b] = mgr.or_(
+        sym.next_state[b], mgr.and_(uncovered, mgr.var_edge(state_vars[b])));
+  }
+  sym.initial = state_code(mgr, state_vars, fsm.state_index(fsm.reset_state));
+  return sym;
+}
+
+StepResult simulate_step(const Manager& mgr, const SymbolicFsm& machine,
+                         const std::vector<bool>& state_bits,
+                         const std::vector<bool>& input_bits) {
+  assert(state_bits.size() == machine.state_vars.size());
+  assert(input_bits.size() == machine.input_vars.size());
+  std::vector<bool> assignment(mgr.num_vars(), false);
+  for (std::size_t k = 0; k < machine.state_vars.size(); ++k) {
+    assignment[machine.state_vars[k]] = state_bits[k];
+  }
+  for (std::size_t i = 0; i < machine.input_vars.size(); ++i) {
+    assignment[machine.input_vars[i]] = input_bits[i];
+  }
+  StepResult result;
+  result.next_state.reserve(machine.next_state.size());
+  for (const Edge delta : machine.next_state) {
+    result.next_state.push_back(eval(mgr, delta, assignment));
+  }
+  result.outputs.reserve(machine.outputs.size());
+  for (const Edge lambda : machine.outputs) {
+    result.outputs.push_back(eval(mgr, lambda, assignment));
+  }
+  return result;
+}
+
+MachineSpec spec_from_fsm(Fsm fsm) {
+  fsm.validate();
+  MachineSpec spec;
+  spec.name = fsm.name;
+  spec.num_inputs = fsm.num_inputs;
+  spec.num_state_bits = fsm.state_bits();
+  spec.num_outputs = fsm.num_outputs;
+  spec.build = [fsm = std::move(fsm)](
+                   Manager& mgr, std::span<const std::uint32_t> input_vars,
+                   std::span<const std::uint32_t> state_vars) {
+    return encode_fsm(mgr, fsm, input_vars, state_vars);
+  };
+  return spec;
+}
+
+}  // namespace bddmin::fsm

@@ -1,0 +1,78 @@
+/// \file encoding.hpp
+/// \brief Symbolic (BDD) representation of sequential machines.
+///
+/// Two layers:
+///  * SymbolicFsm — next-state/output functions over concrete manager
+///    variables, built for a specific variable layout.
+///  * MachineSpec — a layout-independent machine description (a builder
+///    callback).  Explicit KISS machines and synthetic datapath machines
+///    (counters, LFSRs, multiplier-fed registers) both reduce to a
+///    MachineSpec, so reachability and product-machine equivalence have a
+///    single code path.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bdd/manager.hpp"
+#include "fsm/fsm.hpp"
+
+namespace bddmin::fsm {
+
+/// A machine instantiated over concrete manager variables.
+struct SymbolicFsm {
+  std::vector<std::uint32_t> input_vars;
+  std::vector<std::uint32_t> state_vars;
+  std::vector<Edge> next_state;  ///< one function per state bit
+  std::vector<Edge> outputs;     ///< one function per output
+  Edge initial = kZero;          ///< initial state set over state_vars
+};
+
+/// Layout-independent machine description.
+struct MachineSpec {
+  std::string name;
+  unsigned num_inputs = 0;
+  unsigned num_state_bits = 0;
+  unsigned num_outputs = 0;
+  /// Build the machine's functions over the given variables.
+  std::function<SymbolicFsm(Manager&, std::span<const std::uint32_t> input_vars,
+                            std::span<const std::uint32_t> state_vars)>
+      build;
+};
+
+/// Encode an explicit FSM over the given variables: states are binary
+/// encoded in first-mention order; unspecified (state, input) pairs
+/// self-loop with all outputs 0; '-' output bits are taken as 0.
+[[nodiscard]] SymbolicFsm encode_fsm(Manager& mgr, const Fsm& fsm,
+                                     std::span<const std::uint32_t> input_vars,
+                                     std::span<const std::uint32_t> state_vars);
+
+/// Wrap an explicit FSM as a MachineSpec.
+[[nodiscard]] MachineSpec spec_from_fsm(Fsm fsm);
+
+/// The characteristic function of state index \p index over \p state_vars
+/// (bit b of the index on state_vars[b]).
+[[nodiscard]] Edge state_code(Manager& mgr, std::span<const std::uint32_t> state_vars,
+                              std::size_t index);
+
+/// BDD of an input pattern ('0'/'1'/'-') over \p input_vars.
+[[nodiscard]] Edge pattern_cube(Manager& mgr, std::span<const std::uint32_t> vars,
+                                std::string_view pattern);
+
+/// Concrete (non-symbolic) simulation of one machine step.
+struct StepResult {
+  std::vector<bool> next_state;  ///< one value per state bit
+  std::vector<bool> outputs;     ///< one value per output
+};
+
+/// Evaluate the machine's next-state and output functions at a concrete
+/// (state, input) valuation.  `state_bits` / `input_bits` are indexed
+/// positionally (bit k belongs to state_vars[k] / input_vars[k]).
+[[nodiscard]] StepResult simulate_step(const Manager& mgr,
+                                       const SymbolicFsm& machine,
+                                       const std::vector<bool>& state_bits,
+                                       const std::vector<bool>& input_bits);
+
+}  // namespace bddmin::fsm

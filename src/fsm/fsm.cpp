@@ -1,0 +1,72 @@
+#include "fsm/fsm.hpp"
+
+#include <stdexcept>
+
+namespace bddmin::fsm {
+namespace {
+
+bool patterns_overlap(const std::string& a, const std::string& b) {
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != '-' && b[i] != '-' && a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::size_t Fsm::state_index(const std::string& state) const {
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    if (states[i] == state) return i;
+  }
+  return SIZE_MAX;
+}
+
+std::size_t Fsm::add_state(const std::string& state) {
+  const std::size_t existing = state_index(state);
+  if (existing != SIZE_MAX) return existing;
+  states.push_back(state);
+  if (reset_state.empty()) reset_state = state;
+  return states.size() - 1;
+}
+
+unsigned Fsm::state_bits() const {
+  unsigned bits = 1;
+  while ((std::size_t{1} << bits) < states.size()) ++bits;
+  return bits;
+}
+
+void Fsm::validate() const {
+  if (states.empty()) throw std::invalid_argument(name + ": no states");
+  if (state_index(reset_state) == SIZE_MAX) {
+    throw std::invalid_argument(name + ": unknown reset state " + reset_state);
+  }
+  for (const Transition& t : transitions) {
+    if (t.input.size() != num_inputs) {
+      throw std::invalid_argument(name + ": bad input width in " + t.input);
+    }
+    if (t.output.size() != num_outputs) {
+      throw std::invalid_argument(name + ": bad output width in " + t.output);
+    }
+    for (const char ch : t.input + t.output) {
+      if (ch != '0' && ch != '1' && ch != '-') {
+        throw std::invalid_argument(name + ": bad pattern char");
+      }
+    }
+    if (state_index(t.from) == SIZE_MAX || state_index(t.to) == SIZE_MAX) {
+      throw std::invalid_argument(name + ": unknown state in transition");
+    }
+  }
+  for (std::size_t i = 0; i < transitions.size(); ++i) {
+    for (std::size_t j = i + 1; j < transitions.size(); ++j) {
+      const Transition& a = transitions[i];
+      const Transition& b = transitions[j];
+      if (a.from != b.from || !patterns_overlap(a.input, b.input)) continue;
+      if (a.to != b.to || a.output != b.output) {
+        throw std::invalid_argument(name + ": nondeterministic at state " +
+                                    a.from + " input " + a.input);
+      }
+    }
+  }
+}
+
+}  // namespace bddmin::fsm

@@ -1,0 +1,47 @@
+/// \file fsm.hpp
+/// \brief Explicit-state Mealy machine model (KISS2 flavour).
+///
+/// The DAC'94 experiments run SIS's `verify_fsm -m product` on MCNC
+/// benchmark machines; this module is our stand-in for SIS's FSM front
+/// end.  Machines are incompletely specified in the usual KISS way:
+/// transition input fields may contain '-' wildcards, and (state, input)
+/// combinations without a transition are completed deterministically
+/// (self-loop, outputs 0) during encoding.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace bddmin::fsm {
+
+struct Transition {
+  std::string input;   ///< pattern over the inputs, chars '0' '1' '-'
+  std::string from;    ///< present-state name
+  std::string to;      ///< next-state name
+  std::string output;  ///< pattern over the outputs, chars '0' '1' '-'
+};
+
+struct Fsm {
+  std::string name;
+  unsigned num_inputs = 0;
+  unsigned num_outputs = 0;
+  std::vector<std::string> states;  ///< in first-mention order
+  std::string reset_state;          ///< defaults to the first mentioned state
+  std::vector<Transition> transitions;
+
+  /// Index of a state name in `states`; SIZE_MAX if unknown.
+  [[nodiscard]] std::size_t state_index(const std::string& name) const;
+  /// Register a state if new; returns its index either way.
+  std::size_t add_state(const std::string& name);
+  /// Bits needed to binary-encode the states (at least 1).
+  [[nodiscard]] unsigned state_bits() const;
+
+  /// Structural sanity: patterns have the declared widths, states exist,
+  /// the machine is deterministic (no two transitions from one state with
+  /// overlapping input cubes and different target/output).  Throws
+  /// std::invalid_argument on violation.
+  void validate() const;
+};
+
+}  // namespace bddmin::fsm

@@ -1,0 +1,179 @@
+#include "fsm/image.hpp"
+
+#include <cassert>
+
+#include "bdd/ops.hpp"
+#include "minimize/sibling.hpp"
+
+namespace bddmin::fsm {
+
+ImageComputer::ImageComputer(Manager& mgr, const SymbolicFsm& machine,
+                             std::span<const std::uint32_t> next_vars,
+                             ImageMethod method, ImageConstrainObserver observer)
+    : mgr_(mgr),
+      machine_(machine),
+      next_vars_(next_vars.begin(), next_vars.end()),
+      method_(method),
+      observer_(std::move(observer)),
+      pin_(mgr) {
+  assert(next_vars_.size() == machine.state_vars.size());
+  // The minimization hook may garbage-collect mid-traversal; everything
+  // this computer reuses across image() calls must stay referenced.
+  for (const Edge e : machine.next_state) pin_.pin(e);
+  if (method_ == ImageMethod::kRelational ||
+      method_ == ImageMethod::kClustered) {
+    relation_.reserve(machine.next_state.size());
+    for (std::size_t k = 0; k < machine.next_state.size(); ++k) {
+      relation_.push_back(pin_.pin(
+          mgr_.xnor_(mgr_.var_edge(next_vars_[k]), machine.next_state[k])));
+    }
+    std::vector<std::uint32_t> quantified = machine.state_vars;
+    quantified.insert(quantified.end(), machine.input_vars.begin(),
+                      machine.input_vars.end());
+    present_and_input_cube_ = pin_.pin(positive_cube(mgr_, quantified));
+    // y -> s renaming for the image result.
+    std::uint32_t max_var = 0;
+    for (const std::uint32_t y : next_vars_) max_var = std::max(max_var, y);
+    rename_map_.resize(max_var + 1);
+    for (std::uint32_t v = 0; v <= max_var; ++v) {
+      rename_map_[v] = pin_.pin(mgr_.var_edge(v));
+    }
+    for (std::size_t k = 0; k < next_vars_.size(); ++k) {
+      rename_map_[next_vars_[k]] = pin_.pin(mgr_.var_edge(machine.state_vars[k]));
+    }
+    if (method_ == ImageMethod::kClustered) build_clusters();
+  }
+}
+
+void ImageComputer::build_clusters() {
+  // Greedy clustering by size: conjoin relations until a cluster grows
+  // past the cap, then start a new one.
+  constexpr std::size_t kClusterCap = 600;
+  for (const Edge t : relation_) {
+    if (clusters_.empty() ||
+        count_nodes(mgr_, clusters_.back()) > kClusterCap) {
+      clusters_.push_back(t);
+    } else {
+      clusters_.back() = mgr_.and_(clusters_.back(), t);
+    }
+    pin_.pin(clusters_.back());
+  }
+  // Early-quantification schedule: a present-state or input variable can
+  // be existentially removed right after the last cluster mentioning it
+  // has been conjoined (the state set only adds present-state support,
+  // which is covered because S joins before cluster 0).
+  std::vector<std::uint32_t> quantifiable = machine_.state_vars;
+  quantifiable.insert(quantifiable.end(), machine_.input_vars.begin(),
+                      machine_.input_vars.end());
+  cluster_quantify_.assign(clusters_.size(), kOne);
+  for (const std::uint32_t v : quantifiable) {
+    std::size_t last = 0;
+    for (std::size_t i = 0; i < clusters_.size(); ++i) {
+      if (depends_on(mgr_, clusters_[i], v)) last = i;
+    }
+    const std::vector<std::uint32_t> one{v};
+    cluster_quantify_[last] =
+        mgr_.and_(cluster_quantify_[last], positive_cube(mgr_, one));
+  }
+  for (Edge& cube : cluster_quantify_) cube = pin_.pin(cube);
+}
+
+Edge ImageComputer::clustered_image(Edge state_set) {
+  Edge current = state_set;
+  for (std::size_t i = 0; i < clusters_.size(); ++i) {
+    current = and_exists(mgr_, current, clusters_[i], cluster_quantify_[i]);
+  }
+  return vector_compose(mgr_, current, rename_map_);
+}
+
+Edge ImageComputer::image(Edge state_set) {
+  if (state_set == kZero) return kZero;
+  switch (method_) {
+    case ImageMethod::kRelational: return relational_image(state_set);
+    case ImageMethod::kClustered: return clustered_image(state_set);
+    case ImageMethod::kFunctional: return functional_image(state_set);
+  }
+  return kZero;
+}
+
+Edge ImageComputer::relational_image(Edge state_set) {
+  // Conjoin the partitioned relation onto the state set, quantifying with
+  // the final conjunct.
+  Edge product = state_set;
+  for (std::size_t k = 0; k + 1 < relation_.size(); ++k) {
+    product = mgr_.and_(product, relation_[k]);
+  }
+  const Edge last = relation_.empty() ? kOne : relation_.back();
+  const Edge img_y = and_exists(mgr_, product, last, present_and_input_cube_);
+  return vector_compose(mgr_, img_y, rename_map_);
+}
+
+Edge ImageComputer::preimage(Edge state_set) {
+  if (state_set == kZero) return kZero;
+  if (!preimage_ready_) {
+    Edge t = kOne;
+    for (std::size_t k = 0; k < machine_.next_state.size(); ++k) {
+      t = mgr_.and_(
+          t, mgr_.xnor_(mgr_.var_edge(next_vars_[k]), machine_.next_state[k]));
+    }
+    monolithic_ = pin_.pin(t);
+    std::vector<std::uint32_t> quantified = next_vars_;
+    quantified.insert(quantified.end(), machine_.input_vars.begin(),
+                      machine_.input_vars.end());
+    next_and_input_cube_ = pin_.pin(positive_cube(mgr_, quantified));
+    std::uint32_t max_var = 0;
+    for (const std::uint32_t s : machine_.state_vars) {
+      max_var = std::max(max_var, s);
+    }
+    forward_map_.resize(max_var + 1);
+    for (std::uint32_t v = 0; v <= max_var; ++v) {
+      forward_map_[v] = pin_.pin(mgr_.var_edge(v));
+    }
+    for (std::size_t k = 0; k < next_vars_.size(); ++k) {
+      forward_map_[machine_.state_vars[k]] =
+          pin_.pin(mgr_.var_edge(next_vars_[k]));
+    }
+    preimage_ready_ = true;
+  }
+  const Edge target = vector_compose(mgr_, state_set, forward_map_);
+  return and_exists(mgr_, monolithic_, target, next_and_input_cube_);
+}
+
+Edge ImageComputer::functional_image(Edge state_set) {
+  // Coudert et al.: Img(S) under delta == range(delta constrained to S).
+  // These constrains are exactly the ones verify_fsm's minimization entry
+  // point also sees; report them to the observer (measurement only — the
+  // result must stay constrain's, or the range reduction breaks).
+  std::vector<Edge> funcs;
+  funcs.reserve(machine_.next_state.size());
+  EdgePin pin(mgr_);
+  const Edge s = pin.pin(state_set);
+  for (const Edge delta : machine_.next_state) {
+    if (observer_) observer_(mgr_, delta, s);
+    funcs.push_back(pin.pin(minimize::constrain(mgr_, delta, s)));
+  }
+  return range(std::move(funcs), 0);
+}
+
+Edge ImageComputer::range(std::vector<Edge> funcs, std::size_t bit) {
+  if (bit == funcs.size()) return kOne;
+  const Edge f = funcs[bit];
+  const Edge s_bit = mgr_.var_edge(machine_.state_vars[bit]);
+  if (Manager::is_const(f)) {
+    const Edge tail = range(std::move(funcs), bit + 1);
+    return mgr_.and_(f == kOne ? s_bit : !s_bit, tail);
+  }
+  // Split the domain on f: where f holds, bit `bit` of the image is 1 and
+  // the remaining functions are co-restricted to that subdomain.
+  std::vector<Edge> pos = funcs;
+  std::vector<Edge> neg = std::move(funcs);
+  for (std::size_t j = bit + 1; j < pos.size(); ++j) {
+    pos[j] = minimize::constrain(mgr_, pos[j], f);
+    neg[j] = minimize::constrain(mgr_, neg[j], !f);
+  }
+  const Edge on = range(std::move(pos), bit + 1);
+  const Edge off = range(std::move(neg), bit + 1);
+  return mgr_.ite(s_bit, on, off);
+}
+
+}  // namespace bddmin::fsm

@@ -1,0 +1,85 @@
+/// \file image.hpp
+/// \brief Symbolic image computation for sequential machines.
+///
+/// Two methods:
+///  * Relational: build the partitioned transition relation
+///    T_k(s, i, y) = y_k XNOR delta_k(s, i) and compute
+///    Img(S) = (exists s, i . S · prod T_k)[y := s].
+///  * Functional: Coudert/Berthet/Madre's range computation — restrict
+///    each delta_k to the state set with constrain, then compute the range
+///    of the resulting function vector by recursive cofactoring.  This is
+///    exactly the "special property" of constrain that footnote 1 of the
+///    DAC'94 paper refers to; the test suite cross-checks both methods.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "fsm/encoding.hpp"
+
+namespace bddmin::fsm {
+
+enum class ImageMethod {
+  kRelational,  ///< conjoin all T_k, one relational product at the end
+  kClustered,   ///< greedy T_k clusters + early quantification schedule
+  kFunctional,  ///< Coudert/Berthet/Madre range of the constrained vector
+};
+
+/// Observer for the top-level constrain(delta_k, S) calls of the
+/// functional method.  SIS's verify_fsm funnels *these* calls through the
+/// same constrain entry point as the frontier minimization, which is how
+/// the DAC'94 experiments obtain their c_onset < 5% bucket.  The
+/// observer's return value is ignored: these calls rely on constrain's
+/// image-preserving property, so an arbitrary cover would be incorrect
+/// (the paper makes the same remark in Section 4.1.1).
+using ImageConstrainObserver =
+    std::function<void(Manager&, Edge f, Edge c)>;
+
+class ImageComputer {
+ public:
+  /// \p next_vars: one fresh variable per state bit, used only by the
+  /// relational method (pass the same layout either way).
+  ImageComputer(Manager& mgr, const SymbolicFsm& machine,
+                std::span<const std::uint32_t> next_vars, ImageMethod method,
+                ImageConstrainObserver observer = {});
+
+  /// States reachable in one step from \p state_set (both over state_vars).
+  [[nodiscard]] Edge image(Edge state_set);
+
+  /// States with a one-step successor inside \p state_set.  Always uses
+  /// the monolithic relation (built lazily), regardless of method(): the
+  /// functional range trick has no backward analogue.
+  [[nodiscard]] Edge preimage(Edge state_set);
+
+  [[nodiscard]] ImageMethod method() const noexcept { return method_; }
+
+ private:
+  [[nodiscard]] Edge relational_image(Edge state_set);
+  [[nodiscard]] Edge clustered_image(Edge state_set);
+  [[nodiscard]] Edge functional_image(Edge state_set);
+  [[nodiscard]] Edge range(std::vector<Edge> funcs, std::size_t bit);
+  void build_clusters();
+
+  Manager& mgr_;
+  const SymbolicFsm& machine_;
+  std::vector<std::uint32_t> next_vars_;
+  ImageMethod method_;
+  ImageConstrainObserver observer_;
+  EdgePin pin_;                  ///< keeps internal edges alive across GCs
+  std::vector<Edge> relation_;   ///< per-bit T_k (relational/clustered)
+  Edge present_and_input_cube_ = kOne;  ///< quantification cube
+  std::vector<Edge> rename_map_;  ///< y -> s substitution for vector_compose
+  std::vector<Edge> clusters_;    ///< conjoined T_k groups (clustered only)
+  /// Per cluster: cube of the present/input variables whose last use is
+  /// that cluster — quantified as soon as the cluster is conjoined.
+  std::vector<Edge> cluster_quantify_;
+  // Lazily built pre-image structures.
+  bool preimage_ready_ = false;
+  Edge monolithic_ = kOne;            ///< product of all T_k
+  Edge next_and_input_cube_ = kOne;   ///< quantified in preimage()
+  std::vector<Edge> forward_map_;     ///< s -> y substitution
+};
+
+}  // namespace bddmin::fsm

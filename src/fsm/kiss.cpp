@@ -1,0 +1,64 @@
+#include "fsm/kiss.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace bddmin::fsm {
+
+Fsm parse_kiss2(std::string_view text, std::string name) {
+  Fsm fsm;
+  fsm.name = std::move(name);
+  std::istringstream in{std::string(text)};
+  std::string line;
+  bool ended = false;
+  while (std::getline(in, line)) {
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    std::istringstream ls(line);
+    std::string first;
+    if (!(ls >> first) || ended) continue;
+    if (first == ".i") {
+      ls >> fsm.num_inputs;
+    } else if (first == ".o") {
+      ls >> fsm.num_outputs;
+    } else if (first == ".p" || first == ".s") {
+      std::size_t ignored;  // declared counts are re-derived from the body
+      ls >> ignored;
+    } else if (first == ".r") {
+      std::string reset;
+      ls >> reset;
+      fsm.add_state(reset);
+      fsm.reset_state = reset;
+    } else if (first == ".e") {
+      ended = true;
+    } else if (first[0] == '.') {
+      throw std::invalid_argument(fsm.name + ": unknown directive " + first);
+    } else {
+      Transition t;
+      t.input = first;
+      if (!(ls >> t.from >> t.to >> t.output)) {
+        throw std::invalid_argument(fsm.name + ": malformed transition: " + line);
+      }
+      fsm.add_state(t.from);
+      fsm.add_state(t.to);
+      fsm.transitions.push_back(std::move(t));
+    }
+  }
+  fsm.validate();
+  return fsm;
+}
+
+std::string to_kiss2(const Fsm& fsm) {
+  std::ostringstream os;
+  os << ".i " << fsm.num_inputs << "\n.o " << fsm.num_outputs << "\n";
+  os << ".p " << fsm.transitions.size() << "\n.s " << fsm.states.size() << "\n";
+  os << ".r " << fsm.reset_state << "\n";
+  for (const Transition& t : fsm.transitions) {
+    os << t.input << ' ' << t.from << ' ' << t.to << ' ' << t.output << "\n";
+  }
+  os << ".e\n";
+  return os.str();
+}
+
+}  // namespace bddmin::fsm

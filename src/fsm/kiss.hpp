@@ -1,0 +1,20 @@
+/// \file kiss.hpp
+/// \brief KISS2 reader/writer (the MCNC FSM interchange format).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "fsm/fsm.hpp"
+
+namespace bddmin::fsm {
+
+/// Parse a KISS2 description.  Supports .i/.o/.p/.s/.r/.e and transition
+/// lines `<input> <from> <to> <output>`; '#' starts a comment.  Throws
+/// std::invalid_argument on malformed input.  The result is validated.
+[[nodiscard]] Fsm parse_kiss2(std::string_view text, std::string name = "fsm");
+
+/// Serialize back to KISS2 (round-trips through parse_kiss2).
+[[nodiscard]] std::string to_kiss2(const Fsm& fsm);
+
+}  // namespace bddmin::fsm

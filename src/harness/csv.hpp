@@ -1,0 +1,21 @@
+/// \file csv.hpp
+/// \brief CSV export of intercepted minimization calls, for external
+/// analysis/plotting of the experiment data.
+#pragma once
+
+#include <string>
+
+#include "harness/intercept.hpp"
+
+namespace bddmin::harness {
+
+/// One row per call: index, f_size, c_onset, lower_bound, min, then one
+/// size column and one seconds column per heuristic.
+[[nodiscard]] std::string records_to_csv(const std::vector<std::string>& names,
+                                         const std::vector<CallRecord>& records);
+
+/// Write \p text to \p path; returns false (and leaves no partial file
+/// guarantees) on I/O failure.
+bool write_text_file(const std::string& path, const std::string& text);
+
+}  // namespace bddmin::harness

@@ -1,0 +1,69 @@
+#include "harness/intercept.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "bdd/bdd.hpp"
+#include "bdd/ops.hpp"
+
+namespace bddmin::harness {
+
+Interceptor::Interceptor(std::vector<minimize::Heuristic> heuristics,
+                         InterceptorOptions opts)
+    : heuristics_(std::move(heuristics)), opts_(opts) {}
+
+std::vector<std::string> Interceptor::names() const {
+  std::vector<std::string> out;
+  out.reserve(heuristics_.size());
+  for (const minimize::Heuristic& h : heuristics_) out.push_back(h.name);
+  return out;
+}
+
+fsm::MinimizeHook Interceptor::hook() {
+  return [this](Manager& mgr, Edge f, Edge c) { return process(mgr, f, c); };
+}
+
+Edge Interceptor::process(Manager& mgr, Edge f, Edge c) {
+  const minimize::IncSpec spec{f, c};
+  const minimize::CallFilter filter = minimize::classify_call(mgr, spec);
+  if (filter.filtered()) {
+    ++filtered_;
+    return c == kZero ? f : minimize::constrain(mgr, f, c);
+  }
+  // The application's f and c must survive the per-heuristic GCs.
+  const Bdd f_pin(mgr, f);
+  const Bdd c_pin(mgr, c);
+
+  CallRecord record;
+  record.f_size = count_nodes(mgr, f);
+  record.c_onset = minimize::c_onset_fraction(mgr, spec);
+  record.min_size = SIZE_MAX;
+  record.outcomes.reserve(heuristics_.size());
+  using Clock = std::chrono::steady_clock;
+  for (const minimize::Heuristic& h : heuristics_) {
+    if (opts_.flush_between) mgr.garbage_collect();
+    const auto start = Clock::now();
+    const Edge g = h.run(mgr, f, c);
+    const auto stop = Clock::now();
+    if (opts_.validate_covers && !minimize::is_cover(mgr, g, spec)) {
+      throw std::logic_error("heuristic " + h.name + " returned a non-cover");
+    }
+    HeuristicOutcome outcome;
+    outcome.size = count_nodes(mgr, g);
+    outcome.seconds = std::chrono::duration<double>(stop - start).count();
+    record.min_size = std::min(record.min_size, outcome.size);
+    record.outcomes.push_back(outcome);
+  }
+  if (opts_.lower_bound_cubes > 0) {
+    if (opts_.flush_between) mgr.garbage_collect();
+    const minimize::LowerBoundResult lb =
+        minimize::constrain_lower_bound(mgr, f, c, opts_.lower_bound_cubes);
+    record.lower_bound = lb.bound;
+    record.lb_cubes = lb.cubes_examined;
+  }
+  records_.push_back(std::move(record));
+  // Hand the application what verify_fsm would use: constrain's cover.
+  return minimize::constrain(mgr, f, c);
+}
+
+}  // namespace bddmin::harness

@@ -1,0 +1,74 @@
+/// \file intercept.hpp
+/// \brief Call interception replicating Section 4.1's methodology: every
+/// minimization call of the application is treated as an EBM instance;
+/// all heuristics run on it (caches flushed in between so no heuristic
+/// benefits from another's memoized work), sizes and runtimes are
+/// recorded, and the application receives constrain's result — exactly
+/// what verify_fsm would have used.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "fsm/reach.hpp"
+#include "minimize/lower_bound.hpp"
+#include "minimize/registry.hpp"
+
+namespace bddmin::harness {
+
+struct HeuristicOutcome {
+  std::size_t size = 0;
+  double seconds = 0.0;
+};
+
+struct CallRecord {
+  std::size_t f_size = 0;
+  double c_onset = 0.0;  ///< care onset fraction in [0, 1]
+  std::vector<HeuristicOutcome> outcomes;  ///< parallel to heuristic names
+  std::size_t min_size = 0;                ///< best over all heuristics
+  std::size_t lower_bound = 0;             ///< Theorem 7 bound
+  std::size_t lb_cubes = 0;                ///< cubes examined for the bound
+};
+
+struct InterceptorOptions {
+  /// Cube budget for the lower bound (the paper uses 1000; 0 disables).
+  std::size_t lower_bound_cubes = 1000;
+  /// Verify each heuristic result really covers [f, c] (cheap insurance;
+  /// throws std::logic_error on violation).
+  bool validate_covers = true;
+  /// Garbage-collect (which flushes the computed caches) before each
+  /// heuristic, as the paper does for fair timing.
+  bool flush_between = true;
+};
+
+/// Collects CallRecords from a traversal.  Plug hook() into
+/// ReachOptions/EquivOptions::minimize.
+class Interceptor {
+ public:
+  explicit Interceptor(std::vector<minimize::Heuristic> heuristics,
+                       InterceptorOptions opts = {});
+
+  [[nodiscard]] fsm::MinimizeHook hook();
+
+  [[nodiscard]] const std::vector<CallRecord>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] std::vector<std::string> names() const;
+  /// Calls excluded by the Section 4.1.2 filters (c cube / c <= f / c <= f̄
+  /// / c constant).
+  [[nodiscard]] std::size_t filtered_calls() const noexcept { return filtered_; }
+  [[nodiscard]] std::size_t total_calls() const noexcept {
+    return records_.size() + filtered_;
+  }
+
+ private:
+  Edge process(Manager& mgr, Edge f, Edge c);
+
+  std::vector<minimize::Heuristic> heuristics_;
+  InterceptorOptions opts_;
+  std::vector<CallRecord> records_;
+  std::size_t filtered_ = 0;
+};
+
+}  // namespace bddmin::harness

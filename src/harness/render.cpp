@@ -1,0 +1,154 @@
+#include "harness/render.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <numeric>
+#include <sstream>
+
+namespace bddmin::harness {
+namespace {
+
+std::string fixed(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::size_t find_name(const std::vector<std::string>& names,
+                      const std::string& name) {
+  const auto it = std::find(names.begin(), names.end(), name);
+  return it == names.end() ? SIZE_MAX
+                           : static_cast<std::size_t>(it - names.begin());
+}
+
+void append_bucket_cells(std::vector<std::string>& row,
+                         const BucketStats& bucket, std::size_t h) {
+  row.push_back(std::to_string(bucket.total_size[h]));
+  row.push_back(fixed(bucket.pct_of_min(h), 0));
+  row.push_back(fixed(bucket.total_seconds[h], 2));
+  row.push_back(std::to_string(bucket.rank[h]));
+}
+
+}  // namespace
+
+std::string render_table(const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> width;
+  for (const auto& row : rows) {
+    if (width.size() < row.size()) width.resize(row.size(), 0);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (std::size_t c = 0; c < rows[r].size(); ++c) {
+      os << std::setw(static_cast<int>(width[c]) + 2) << rows[r][c];
+    }
+    os << "\n";
+    if (r == 0) {
+      const std::size_t total =
+          std::accumulate(width.begin(), width.end(), std::size_t{0}) +
+          2 * width.size();
+      os << std::string(total, '-') << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string render_table3(const Table3& table) {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"heur", "total", "%min", "time(s)", "rank",  // all
+                  "total", "%min", "time(s)", "rank",          // < 5%
+                  "total", "%min", "time(s)", "rank"});        // > 95%
+  // Row order: by total size over all calls, with low_bd first and min
+  // second, as in the paper's Table 3.
+  std::vector<std::size_t> order(table.names.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return table.all.total_size[a] < table.all.total_size[b];
+  });
+  auto summary_row = [&](const std::string& name, std::size_t all_v,
+                         std::size_t low_v, std::size_t high_v) {
+    auto pct = [](std::size_t v, std::size_t min_total) {
+      return min_total == 0 ? std::string("-")
+                            : fixed(100.0 * static_cast<double>(v) /
+                                        static_cast<double>(min_total),
+                                    0);
+    };
+    rows.push_back({name, std::to_string(all_v), pct(all_v, table.all.total_min),
+                    "-", "-", std::to_string(low_v),
+                    pct(low_v, table.low.total_min), "-", "-",
+                    std::to_string(high_v), pct(high_v, table.high.total_min),
+                    "-", "-"});
+  };
+  summary_row("low_bd", table.all.total_lower_bound,
+              table.low.total_lower_bound, table.high.total_lower_bound);
+  summary_row("min", table.all.total_min, table.low.total_min,
+              table.high.total_min);
+  for (const std::size_t h : order) {
+    std::vector<std::string> row{table.names[h]};
+    append_bucket_cells(row, table.all, h);
+    append_bucket_cells(row, table.low, h);
+    append_bucket_cells(row, table.high, h);
+    rows.push_back(std::move(row));
+  }
+  std::ostringstream os;
+  os << "Table 3: totals over all calls (" << table.all.calls
+     << "); c_onset < 5% (" << table.low.calls << "); c_onset > 95% ("
+     << table.high.calls << "); mid bucket (" << table.mid.calls << ")\n";
+  os << render_table(rows);
+  return os.str();
+}
+
+std::string render_head_to_head(const HeadToHead& matrix,
+                                const std::vector<std::string>& subset) {
+  std::vector<std::size_t> indices;
+  for (const std::string& name : subset) {
+    const std::size_t idx = find_name(matrix.names, name);
+    if (idx != SIZE_MAX) indices.push_back(idx);
+  }
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> header{"heur"};
+  for (const std::size_t j : indices) header.push_back(matrix.names[j]);
+  rows.push_back(std::move(header));
+  for (const std::size_t i : indices) {
+    std::vector<std::string> row{matrix.names[i]};
+    for (const std::size_t j : indices) {
+      row.push_back(i == j ? "0.0" : fixed(matrix.pct_smaller[i][j], 1));
+    }
+    rows.push_back(std::move(row));
+  }
+  std::ostringstream os;
+  os << "Table 4: entry (i, j) = % of calls where heuristic i is strictly "
+        "smaller than j\n";
+  os << render_table(rows);
+  return os.str();
+}
+
+std::string render_robustness(const std::vector<std::string>& names,
+                              const std::vector<CallRecord>& records,
+                              const std::vector<std::string>& subset,
+                              double step, double max_pct) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> header{"within%"};
+  std::vector<std::vector<double>> curves;
+  for (const std::string& name : subset) {
+    const std::size_t idx = find_name(names, name);
+    if (idx == SIZE_MAX) continue;
+    header.push_back(name);
+    curves.push_back(robustness_curve(records, idx, step, max_pct));
+  }
+  rows.push_back(std::move(header));
+  const std::size_t samples = curves.empty() ? 0 : curves.front().size();
+  for (std::size_t s = 0; s < samples; ++s) {
+    std::vector<std::string> row{fixed(step * static_cast<double>(s), 0)};
+    for (const auto& curve : curves) row.push_back(fixed(curve[s], 1));
+    rows.push_back(std::move(row));
+  }
+  std::ostringstream os;
+  os << "Figure 3: % of calls within x% of the best heuristic (min)\n";
+  os << render_table(rows);
+  return os.str();
+}
+
+}  // namespace bddmin::harness

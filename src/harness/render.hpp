@@ -1,0 +1,32 @@
+/// \file render.hpp
+/// \brief Plain-text rendering of the experiment results in the shape of
+/// the paper's tables and figure.
+#pragma once
+
+#include <string>
+
+#include "harness/stats.hpp"
+
+namespace bddmin::harness {
+
+/// Generic fixed-width table; first row is the header.
+[[nodiscard]] std::string render_table(
+    const std::vector<std::vector<std::string>>& rows);
+
+/// Table 3: one column group per bucket, rows sorted by total size over
+/// all calls (low_bd and min rows included, like the paper).
+[[nodiscard]] std::string render_table3(const Table3& table);
+
+/// Table 4 for a subset of heuristics (the paper shows six).
+[[nodiscard]] std::string render_head_to_head(
+    const HeadToHead& matrix, const std::vector<std::string>& subset);
+
+/// Figure 3 as an ASCII data listing plus a coarse plot: one series per
+/// selected heuristic of "% of calls within x% of min".
+[[nodiscard]] std::string render_robustness(
+    const std::vector<std::string>& names,
+    const std::vector<CallRecord>& records,
+    const std::vector<std::string>& subset, double step = 10.0,
+    double max_pct = 100.0);
+
+}  // namespace bddmin::harness

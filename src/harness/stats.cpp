@@ -1,0 +1,146 @@
+#include "harness/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace bddmin::harness {
+namespace {
+
+void accumulate(BucketStats& bucket, const CallRecord& record) {
+  ++bucket.calls;
+  for (std::size_t h = 0; h < record.outcomes.size(); ++h) {
+    bucket.total_size[h] += record.outcomes[h].size;
+    bucket.total_seconds[h] += record.outcomes[h].seconds;
+  }
+  bucket.total_min += record.min_size;
+  bucket.total_lower_bound += record.lower_bound;
+}
+
+void finalize_ranks(BucketStats& bucket) {
+  const std::size_t n = bucket.total_size.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return bucket.total_size[a] < bucket.total_size[b];
+  });
+  bucket.rank.assign(n, 0);
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    // Equal totals share a rank, as in the paper's Table 3.
+    if (pos > 0 &&
+        bucket.total_size[order[pos]] == bucket.total_size[order[pos - 1]]) {
+      bucket.rank[order[pos]] = bucket.rank[order[pos - 1]];
+    } else {
+      bucket.rank[order[pos]] = pos + 1;
+    }
+  }
+}
+
+BucketStats make_bucket(std::string label, std::size_t heuristics) {
+  BucketStats bucket;
+  bucket.label = std::move(label);
+  bucket.total_size.assign(heuristics, 0);
+  bucket.total_seconds.assign(heuristics, 0.0);
+  return bucket;
+}
+
+}  // namespace
+
+double BucketStats::pct_of_min(std::size_t h) const {
+  if (total_min == 0) return 0.0;
+  return 100.0 * static_cast<double>(total_size[h]) /
+         static_cast<double>(total_min);
+}
+
+Table3 aggregate_table3(const std::vector<std::string>& names,
+                        const std::vector<CallRecord>& records) {
+  Table3 table;
+  table.names = names;
+  table.all = make_bucket("all", names.size());
+  table.low = make_bucket("c_onset < 5%", names.size());
+  table.mid = make_bucket("5% <= c_onset <= 95%", names.size());
+  table.high = make_bucket("c_onset > 95%", names.size());
+  for (const CallRecord& record : records) {
+    assert(record.outcomes.size() == names.size());
+    accumulate(table.all, record);
+    if (record.c_onset < 0.05) {
+      accumulate(table.low, record);
+    } else if (record.c_onset > 0.95) {
+      accumulate(table.high, record);
+    } else {
+      accumulate(table.mid, record);
+    }
+  }
+  finalize_ranks(table.all);
+  finalize_ranks(table.low);
+  finalize_ranks(table.mid);
+  finalize_ranks(table.high);
+  return table;
+}
+
+HeadToHead head_to_head(const std::vector<std::string>& names,
+                        const std::vector<CallRecord>& records,
+                        bool restrict_to_low_bucket) {
+  HeadToHead result;
+  result.names = names;
+  result.names.push_back("min");
+  result.names.push_back("low_bd");
+  const std::size_t n = result.names.size();
+  std::vector<std::vector<std::size_t>> wins(n, std::vector<std::size_t>(n, 0));
+  std::size_t calls = 0;
+  auto size_of = [&](const CallRecord& r, std::size_t idx) {
+    if (idx < names.size()) return r.outcomes[idx].size;
+    return idx == names.size() ? r.min_size : r.lower_bound;
+  };
+  for (const CallRecord& record : records) {
+    if (restrict_to_low_bucket && record.c_onset >= 0.05) continue;
+    ++calls;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i != j && size_of(record, i) < size_of(record, j)) ++wins[i][j];
+      }
+    }
+  }
+  result.pct_smaller.assign(n, std::vector<double>(n, 0.0));
+  if (calls == 0) return result;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      result.pct_smaller[i][j] =
+          100.0 * static_cast<double>(wins[i][j]) / static_cast<double>(calls);
+    }
+  }
+  return result;
+}
+
+std::vector<double> robustness_curve(const std::vector<CallRecord>& records,
+                                     std::size_t heuristic, double step,
+                                     double max_pct) {
+  std::vector<double> curve;
+  for (double x = 0.0; x <= max_pct + 1e-9; x += step) {
+    std::size_t within = 0;
+    for (const CallRecord& record : records) {
+      const double limit =
+          static_cast<double>(record.min_size) * (1.0 + x / 100.0);
+      if (static_cast<double>(record.outcomes[heuristic].size) <= limit + 1e-9) {
+        ++within;
+      }
+    }
+    curve.push_back(records.empty()
+                        ? 0.0
+                        : 100.0 * static_cast<double>(within) /
+                              static_cast<double>(records.size()));
+  }
+  return curve;
+}
+
+double lower_bound_hit_rate(const std::vector<CallRecord>& records,
+                            std::size_t heuristic) {
+  if (records.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (const CallRecord& record : records) {
+    if (record.outcomes[heuristic].size == record.lower_bound) ++hits;
+  }
+  return 100.0 * static_cast<double>(hits) / static_cast<double>(records.size());
+}
+
+}  // namespace bddmin::harness

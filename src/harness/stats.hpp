@@ -1,0 +1,62 @@
+/// \file stats.hpp
+/// \brief Aggregation of intercepted calls into the paper's Tables 3-4 and
+/// Figure 3 data.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/intercept.hpp"
+
+namespace bddmin::harness {
+
+/// Cumulative data over one c_onset_size bucket (Table 3 column group).
+struct BucketStats {
+  std::string label;
+  std::size_t calls = 0;
+  std::vector<std::size_t> total_size;  ///< per heuristic
+  std::vector<double> total_seconds;    ///< per heuristic
+  std::size_t total_min = 0;            ///< cumulative best-of-all
+  std::size_t total_lower_bound = 0;    ///< cumulative Theorem 7 bound
+  std::vector<std::size_t> rank;        ///< 1-based rank by total_size
+
+  /// Percentage of total_min (the paper's "% of min" column).
+  [[nodiscard]] double pct_of_min(std::size_t h) const;
+};
+
+struct Table3 {
+  std::vector<std::string> names;
+  BucketStats all;   ///< every unfiltered call
+  BucketStats low;   ///< c_onset_size < 5%
+  BucketStats mid;   ///< 5%..95% (empty in the paper's runs)
+  BucketStats high;  ///< c_onset_size > 95%
+};
+
+[[nodiscard]] Table3 aggregate_table3(const std::vector<std::string>& names,
+                                      const std::vector<CallRecord>& records);
+
+/// Table 4: entry (i, j) = percentage of calls where heuristic i's result
+/// is strictly smaller than heuristic j's.  Row/column indices follow
+/// \p names; two extra virtual rows/columns are appended for "min" and
+/// "low_bd".
+struct HeadToHead {
+  std::vector<std::string> names;  ///< heuristics + "min" + "low_bd"
+  std::vector<std::vector<double>> pct_smaller;
+};
+
+[[nodiscard]] HeadToHead head_to_head(const std::vector<std::string>& names,
+                                      const std::vector<CallRecord>& records,
+                                      bool restrict_to_low_bucket = false);
+
+/// Figure 3: for one heuristic, the fraction of calls (in %) whose result
+/// is within x% of min, sampled at x = 0, step, 2*step, ... , max_pct.
+[[nodiscard]] std::vector<double> robustness_curve(
+    const std::vector<CallRecord>& records, std::size_t heuristic,
+    double step = 5.0, double max_pct = 100.0);
+
+/// Fraction (in %) of calls on which the heuristic result equals the
+/// lower bound (the paper reports 26.2% for its frontrunners).
+[[nodiscard]] double lower_bound_hit_rate(const std::vector<CallRecord>& records,
+                                          std::size_t heuristic);
+
+}  // namespace bddmin::harness

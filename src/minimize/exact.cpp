@@ -1,0 +1,50 @@
+#include "minimize/exact.hpp"
+
+#include <bit>
+#include <vector>
+
+#include "bdd/ops.hpp"
+#include "bdd/truth_table.hpp"
+
+namespace bddmin::minimize {
+
+std::optional<ExactResult> exact_minimum_tt(std::uint64_t f_tt,
+                                            std::uint64_t c_tt, unsigned n,
+                                            unsigned max_dc_bits) {
+  f_tt &= tt_mask(n);
+  c_tt &= tt_mask(n);
+  const std::uint64_t dc = ~c_tt & tt_mask(n);
+  const unsigned dc_bits = static_cast<unsigned>(std::popcount(dc));
+  if (dc_bits > max_dc_bits || n > kMaxTtVars) return std::nullopt;
+  std::vector<std::uint64_t> dc_positions;
+  dc_positions.reserve(dc_bits);
+  for (unsigned m = 0; m < (1u << n); ++m) {
+    if ((dc >> m) & 1) dc_positions.push_back(1ull << m);
+  }
+  const std::uint64_t onset = f_tt & c_tt;
+  Manager scratch(n, /*cache_log2=*/14);
+  ExactResult best;
+  best.size = SIZE_MAX;
+  for (std::uint64_t choice = 0; choice < (1ull << dc_bits); ++choice) {
+    std::uint64_t g = onset;
+    for (unsigned b = 0; b < dc_bits; ++b) {
+      if ((choice >> b) & 1) g |= dc_positions[b];
+    }
+    const std::size_t size = count_nodes(scratch, from_tt(scratch, g, n));
+    if (size < best.size) {
+      best.size = size;
+      best.cover_tt = g;
+    }
+    // Bound the scratch table: nothing is referenced, so everything but
+    // the terminal is reclaimable.
+    if (scratch.allocated_nodes() > (1u << 16)) scratch.garbage_collect();
+  }
+  return best;
+}
+
+std::optional<ExactResult> exact_minimum(Manager& mgr, Edge f, Edge c,
+                                         unsigned n, unsigned max_dc_bits) {
+  return exact_minimum_tt(to_tt(mgr, f, n), to_tt(mgr, c, n), n, max_dc_bits);
+}
+
+}  // namespace bddmin::minimize

@@ -1,0 +1,35 @@
+/// \file exact.hpp
+/// \brief Exact BDD minimization (EBM, Definition 3) for small instances.
+///
+/// The decision problem is in NP (Proposition 4); its exact complexity was
+/// open in 1994 (later shown NP-complete).  This exhaustive solver is the
+/// oracle the test suite uses to verify Theorem 7 (constrain exact on cube
+/// care sets), Theorem 12, the Section 3.2 counterexamples, and that no
+/// heuristic ever beats the exact minimum.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "bdd/manager.hpp"
+
+namespace bddmin::minimize {
+
+struct ExactResult {
+  std::size_t size = 0;          ///< minimum |g| over all covers (incl. terminal)
+  std::uint64_t cover_tt = 0;    ///< a witness cover as a truth table
+};
+
+/// Exact minimum cover by enumerating every assignment of the don't-care
+/// minterms (truth-table domain, n <= 6 variables).  Returns nullopt when
+/// the DC count exceeds \p max_dc_bits (2^dc covers would be enumerated).
+[[nodiscard]] std::optional<ExactResult> exact_minimum_tt(
+    std::uint64_t f_tt, std::uint64_t c_tt, unsigned n, unsigned max_dc_bits = 20);
+
+/// Convenience wrapper over BDD edges: f and c must depend only on
+/// x0..x(n-1) with n <= 6.
+[[nodiscard]] std::optional<ExactResult> exact_minimum(Manager& mgr, Edge f,
+                                                       Edge c, unsigned n,
+                                                       unsigned max_dc_bits = 20);
+
+}  // namespace bddmin::minimize

@@ -1,0 +1,38 @@
+#include "minimize/lower_bound.hpp"
+
+#include <cassert>
+
+#include "bdd/cube.hpp"
+#include "bdd/ops.hpp"
+#include "minimize/sibling.hpp"
+
+namespace bddmin::minimize {
+
+LowerBoundResult constrain_lower_bound(Manager& mgr, Edge f, Edge c,
+                                       std::size_t max_cubes,
+                                       bool probe_largest_cube) {
+  assert(c != kZero);
+  LowerBoundResult result;
+  if (Manager::is_const(f)) {
+    result.bound = 1;
+    return result;
+  }
+  if (probe_largest_cube && c != kOne) {
+    const Edge big =
+        cube_to_edge(mgr, largest_cube(mgr, c, mgr.num_vars()));
+    result.bound = count_nodes(mgr, constrain(mgr, f, big));
+    result.cubes_examined = 1;
+  }
+  result.cubes_examined += for_each_cube(
+      mgr, c, mgr.num_vars(), max_cubes, [&](const CubeVec& cube) {
+        const Edge p = cube_to_edge(mgr, cube);
+        // Theorem 7 + Touati et al.: with a cube care set, constrain is
+        // the Shannon cofactor and yields the exact minimum of [f, p].
+        const Edge minimum = constrain(mgr, f, p);
+        result.bound = std::max(result.bound, count_nodes(mgr, minimum));
+        return true;
+      });
+  return result;
+}
+
+}  // namespace bddmin::minimize

@@ -1,0 +1,32 @@
+/// \file schedule.hpp
+/// \brief The scheduling algorithm of Section 3.4: apply safer
+/// transformations (osm) before more powerful but less safe ones (tsm),
+/// window by window down the BDD, finishing with constrain.
+///
+/// The theoretical justification is Theorem 12: osm matching at a level
+/// can only lose optimality in the superstructure above that level, so
+/// applying it near the top keeps the result near the optimum.
+#pragma once
+
+#include "minimize/level.hpp"
+#include "minimize/sibling.hpp"
+
+namespace bddmin::minimize {
+
+struct ScheduleOptions {
+  /// Number of levels treated per window (Section 3.4 step 1).
+  std::uint32_t window_size = 4;
+  /// When fewer than this many levels remain, assign all remaining DCs
+  /// locally with constrain and stop (step 6).
+  std::uint32_t stop_top_down = 8;
+  /// Steps 4-5 (level matching in the window) are expensive; the paper
+  /// suggests skipping them when runtime is a concern.
+  bool use_level_steps = true;
+  LevelOptions level;
+};
+
+/// Run the schedule on [f, c] and return a cover.
+[[nodiscard]] Edge scheduled_minimize(Manager& mgr, const ScheduleOptions& opts,
+                                      Edge f, Edge c);
+
+}  // namespace bddmin::minimize

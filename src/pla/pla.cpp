@@ -1,0 +1,274 @@
+#include "pla/pla.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace bddmin::pla {
+namespace {
+
+Edge input_cube(Manager& mgr, std::span<const std::uint32_t> vars,
+                std::string_view pattern) {
+  Edge cube = kOne;
+  for (std::size_t i = pattern.size(); i-- > 0;) {
+    if (pattern[i] == '-') continue;
+    const Edge lit =
+        pattern[i] == '1' ? mgr.var_edge(vars[i]) : mgr.nvar_edge(vars[i]);
+    cube = mgr.and_(cube, lit);
+  }
+  return cube;
+}
+
+}  // namespace
+
+void Pla::validate() const {
+  if (type != "f" && type != "fd" && type != "fr" && type != "fdr") {
+    throw std::invalid_argument(name + ": unsupported .type " + type);
+  }
+  for (const PlaCube& cube : cubes) {
+    if (cube.inputs.size() != num_inputs) {
+      throw std::invalid_argument(name + ": bad input width in " + cube.inputs);
+    }
+    if (cube.outputs.size() != num_outputs) {
+      throw std::invalid_argument(name + ": bad output width in " + cube.outputs);
+    }
+    for (const char ch : cube.inputs) {
+      if (ch != '0' && ch != '1' && ch != '-') {
+        throw std::invalid_argument(name + ": bad input char");
+      }
+    }
+    for (const char ch : cube.outputs) {
+      if (ch != '0' && ch != '1' && ch != '-' && ch != '~') {
+        throw std::invalid_argument(name + ": bad output char");
+      }
+    }
+  }
+  if (!input_labels.empty() && input_labels.size() != num_inputs) {
+    throw std::invalid_argument(name + ": .ilb width mismatch");
+  }
+  if (!output_labels.empty() && output_labels.size() != num_outputs) {
+    throw std::invalid_argument(name + ": .ob width mismatch");
+  }
+}
+
+Pla parse_pla(std::string_view text, std::string name) {
+  Pla pla;
+  pla.name = std::move(name);
+  std::istringstream in{std::string(text)};
+  std::string line;
+  bool ended = false;
+  while (std::getline(in, line)) {
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    std::istringstream ls(line);
+    std::string first;
+    if (!(ls >> first) || ended) continue;
+    if (first == ".i") {
+      ls >> pla.num_inputs;
+    } else if (first == ".o") {
+      ls >> pla.num_outputs;
+    } else if (first == ".p") {
+      std::size_t ignored;
+      ls >> ignored;  // re-derived from the body
+    } else if (first == ".type") {
+      ls >> pla.type;
+    } else if (first == ".ilb") {
+      std::string label;
+      while (ls >> label) pla.input_labels.push_back(label);
+    } else if (first == ".ob") {
+      std::string label;
+      while (ls >> label) pla.output_labels.push_back(label);
+    } else if (first == ".e" || first == ".end") {
+      ended = true;
+    } else if (first[0] == '.') {
+      throw std::invalid_argument(pla.name + ": unknown directive " + first);
+    } else {
+      PlaCube cube;
+      cube.inputs = first;
+      if (!(ls >> cube.outputs)) {
+        throw std::invalid_argument(pla.name + ": malformed cube: " + line);
+      }
+      pla.cubes.push_back(std::move(cube));
+    }
+  }
+  pla.validate();
+  return pla;
+}
+
+std::string to_pla(const Pla& pla) {
+  std::ostringstream os;
+  os << ".i " << pla.num_inputs << "\n.o " << pla.num_outputs << "\n";
+  if (!pla.input_labels.empty()) {
+    os << ".ilb";
+    for (const std::string& l : pla.input_labels) os << ' ' << l;
+    os << "\n";
+  }
+  if (!pla.output_labels.empty()) {
+    os << ".ob";
+    for (const std::string& l : pla.output_labels) os << ' ' << l;
+    os << "\n";
+  }
+  os << ".type " << pla.type << "\n.p " << pla.cubes.size() << "\n";
+  for (const PlaCube& cube : pla.cubes) {
+    os << cube.inputs << ' ' << cube.outputs << "\n";
+  }
+  os << ".e\n";
+  return os.str();
+}
+
+minimize::IncSpec output_function(Manager& mgr, const Pla& pla, unsigned output,
+                                  std::span<const std::uint32_t> input_vars) {
+  if (output >= pla.num_outputs || input_vars.size() != pla.num_inputs) {
+    throw std::invalid_argument(pla.name + ": bad output index or var layout");
+  }
+  Edge on = kZero;
+  Edge off = kZero;
+  Edge dc = kZero;
+  for (const PlaCube& cube : pla.cubes) {
+    const char ch = cube.outputs[output];
+    if (ch == '~') continue;
+    const Edge e = input_cube(mgr, input_vars, cube.inputs);
+    if (ch == '1') on = mgr.or_(on, e);
+    else if (ch == '0') off = mgr.or_(off, e);
+    else dc = mgr.or_(dc, e);
+  }
+  Edge care;
+  if (pla.type == "f") {
+    care = kOne;  // uncovered minterms are offset
+  } else if (pla.type == "fd") {
+    // Onset rows win over overlapping '-' rows.
+    care = mgr.or_(!dc, on);
+  } else {
+    // fr / fdr: care exactly where the matrix speaks.
+    care = mgr.or_(on, off);
+  }
+  return {on, care};
+}
+
+std::vector<minimize::IncSpec> output_functions(
+    Manager& mgr, const Pla& pla, std::span<const std::uint32_t> input_vars) {
+  std::vector<minimize::IncSpec> out;
+  out.reserve(pla.num_outputs);
+  for (unsigned j = 0; j < pla.num_outputs; ++j) {
+    out.push_back(output_function(mgr, pla, j, input_vars));
+  }
+  return out;
+}
+
+namespace {
+
+// Seven-segment decoder: digits 10-15 never occur (don't cares).
+constexpr const char* kSevenSeg = R"(.i 4
+.o 7
+.ilb b3 b2 b1 b0
+.ob a b c d e f g
+.type fd
+0000 1111110
+0001 0110000
+0010 1101101
+0011 1111001
+0100 0110011
+0101 1011011
+0110 1011111
+0111 1110000
+1000 1111111
+1001 1111011
+101- -------
+11-- -------
+.e
+)";
+
+// Majority of five inputs; exactly-two-ones minterms are relaxed to DC.
+constexpr const char* kMajority5 = R"(.i 5
+.o 1
+.type fd
+111-- 1
+11-1- 1
+11--1 1
+1-11- 1
+1-1-1 1
+1--11 1
+-111- 1
+-11-1 1
+-1-11 1
+--111 1
+11000 -
+10100 -
+10010 -
+10001 -
+01100 -
+01010 -
+01001 -
+00110 -
+00101 -
+00011 -
+.e
+)";
+
+// Two-bit adder, fully specified (.type f).
+constexpr const char* kAdd2 = R"(.i 4
+.o 3
+.ilb a1 a0 b1 b0
+.ob s2 s1 s0
+.type f
+0000 000
+0001 001
+0010 010
+0011 011
+0100 001
+0101 010
+0110 011
+0111 100
+1000 010
+1001 011
+1010 100
+1011 101
+1100 011
+1101 100
+1110 101
+1111 110
+.e
+)";
+
+// Eight-way priority encoder (.type fr): the all-zero request vector is
+// left uncovered, hence don't care.
+constexpr const char* kPrio8 = R"(.i 8
+.o 4
+.ob v i2 i1 i0
+.type fr
+1------- 1000
+01------ 1001
+001----- 1010
+0001---- 1011
+00001--- 1100
+000001-- 1101
+0000001- 1110
+00000001 1111
+.e
+)";
+
+std::vector<std::pair<std::string, std::string>> make_sources() {
+  return {
+      {"sevenseg", kSevenSeg},
+      {"majority5_like", kMajority5},
+      {"add2", kAdd2},
+      {"prio8_like", kPrio8},
+  };
+}
+
+}  // namespace
+
+const std::vector<std::pair<std::string, std::string>>& builtin_pla_sources() {
+  static const std::vector<std::pair<std::string, std::string>> sources =
+      make_sources();
+  return sources;
+}
+
+Pla builtin_pla(const std::string& name) {
+  for (const auto& [key, text] : builtin_pla_sources()) {
+    if (key == name) return parse_pla(text, name);
+  }
+  throw std::out_of_range("unknown builtin pla: " + name);
+}
+
+}  // namespace bddmin::pla

@@ -1,0 +1,67 @@
+/// \file pla.hpp
+/// \brief Berkeley/espresso PLA reader & writer.
+///
+/// Two-level descriptions are the classic source of incompletely
+/// specified functions: with `.type fd` (the default), an output '1'
+/// puts the input cube in the onset, '-' puts it in the don't-care set,
+/// and everything else is offset.  Each output column therefore yields an
+/// EBM instance [f, c] directly — the paper's third motivating
+/// application (multiplexer-FPGA mapping from BDDs) consumes exactly
+/// these.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "minimize/incspec.hpp"
+
+namespace bddmin::pla {
+
+/// One parsed PLA matrix row: input pattern over {'0','1','-'} and output
+/// pattern over {'0','1','-','~'}.
+struct PlaCube {
+  std::string inputs;
+  std::string outputs;
+};
+
+struct Pla {
+  std::string name;
+  unsigned num_inputs = 0;
+  unsigned num_outputs = 0;
+  std::vector<std::string> input_labels;   ///< .ilb, may be empty
+  std::vector<std::string> output_labels;  ///< .ob, may be empty
+  std::string type = "fd";                 ///< .type: f, fd, fr, fdr
+  std::vector<PlaCube> cubes;
+
+  /// Structural checks (widths, characters); throws std::invalid_argument.
+  void validate() const;
+};
+
+/// Parse PLA text (directives .i/.o/.ilb/.ob/.p/.type/.e, '#' comments).
+[[nodiscard]] Pla parse_pla(std::string_view text, std::string name = "pla");
+
+/// Serialize back (round-trips through parse_pla).
+[[nodiscard]] std::string to_pla(const Pla& pla);
+
+/// Build the incompletely specified function of output column \p output
+/// over manager variables input_vars.  Interpretation follows .type:
+///  * f:  '1' cubes are onset, everything else offset (fully specified).
+///  * fd: '1' onset, '-' don't care, rest offset.
+///  * fr: '1' onset, '0' offset, rest don't care.
+///  * fdr:'1' onset, '0' offset, '-' don't care, '~' ignored.
+[[nodiscard]] minimize::IncSpec output_function(
+    Manager& mgr, const Pla& pla, unsigned output,
+    std::span<const std::uint32_t> input_vars);
+
+/// All output functions at once (shares traversal work).
+[[nodiscard]] std::vector<minimize::IncSpec> output_functions(
+    Manager& mgr, const Pla& pla, std::span<const std::uint32_t> input_vars);
+
+/// Embedded sample PLAs (hand-written in the MCNC style; names carry a
+/// _like suffix because the originals are not redistributable).
+[[nodiscard]] const std::vector<std::pair<std::string, std::string>>&
+builtin_pla_sources();
+[[nodiscard]] Pla builtin_pla(const std::string& name);
+
+}  // namespace bddmin::pla

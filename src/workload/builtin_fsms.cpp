@@ -1,0 +1,193 @@
+#include "workload/builtin_fsms.hpp"
+
+#include <stdexcept>
+
+#include "fsm/kiss.hpp"
+
+namespace bddmin::workload {
+namespace {
+
+// Traffic light controller (Mead/Conway style).  Inputs: c (car waiting on
+// the farm road), tl (long timer expired), ts (short timer expired).
+// Outputs: highway light, farm light, each 2-bit (00 green, 01 yellow,
+// 10 red).
+constexpr const char* kTlcLike = R"(.i 3
+.o 4
+.r HG
+0-- HG HG 0010
+-0- HG HG 0010
+11- HG HY 0010
+--0 HY HY 0110
+--1 HY FG 0110
+0-- FG FY 1000
+-1- FG FY 1000
+10- FG FG 1000
+--0 FY FY 1001
+--1 FY HG 1001
+.e
+)";
+
+// Two-requester bus arbiter with a timeout.  Inputs: r1, r2, t (timeout),
+// u (spare strobe).  Outputs: g1, g2.
+constexpr const char* kArbLike = R"(.i 4
+.o 2
+.r idle
+00-- idle idle 00
+1--- idle grant1 10
+01-- idle grant2 01
+0--- grant1 idle 00
+1-0- grant1 grant1 10
+1-1- grant1 wait2 00
+-0-- grant2 idle 00
+-10- grant2 grant2 01
+-11- grant2 wait1 00
+---- wait1 grant1 10
+---0 wait2 grant2 01
+---1 wait2 grant2 01
+.e
+)";
+
+// Seven-state single-input machine in the dk27 size class.
+constexpr const char* kDk27Like = R"(.i 1
+.o 2
+.r s0
+0 s0 s1 00
+1 s0 s3 01
+0 s1 s2 01
+1 s1 s4 00
+0 s2 s0 10
+1 s2 s5 11
+0 s3 s4 00
+1 s3 s6 01
+0 s4 s5 10
+1 s4 s0 00
+0 s5 s6 11
+1 s5 s1 10
+0 s6 s0 01
+1 s6 s2 11
+.e
+)";
+
+// Overlapping "1011" sequence detector (Mealy).
+constexpr const char* kSeqDetect = R"(.i 1
+.o 1
+.r e
+0 e e 0
+1 e s1 0
+0 s1 s10 0
+1 s1 s1 0
+0 s10 e 0
+1 s10 s101 0
+0 s101 s10 0
+1 s101 s1 1
+.e
+)";
+
+// Four-floor elevator; input is the binary requested floor, output is the
+// door-open signal.  Moves one floor per step toward the request.
+constexpr const char* kElevator = R"(.i 2
+.o 1
+.r f0
+00 f0 f0 1
+01 f0 f1 0
+1- f0 f1 0
+00 f1 f0 0
+01 f1 f1 1
+1- f1 f2 0
+0- f2 f1 0
+10 f2 f2 1
+11 f2 f3 0
+0- f3 f2 0
+10 f3 f2 0
+11 f3 f3 1
+.e
+)";
+
+// Stop-and-wait protocol sender.  Inputs: send request, ack, timeout.
+// Outputs: frame-out, done.
+constexpr const char* kSenderLike = R"(.i 3
+.o 2
+.r idle
+0-- idle idle 00
+1-- idle xmit 10
+--- xmit await 00
+-1- await done 01
+-00 await await 00
+-01 await xmit 10
+--- done idle 00
+.e
+)";
+
+// 20-cent vending machine taking nickels (n) and dimes (d); the nickel
+// slot wins when both coins arrive at once.  Outputs: vend, change.
+constexpr const char* kVend20 = R"(.i 2
+.o 2
+.r s0
+00 s0 s0 00
+1- s0 s5 00
+01 s0 s10 00
+00 s5 s5 00
+1- s5 s10 00
+01 s5 s15 00
+00 s10 s10 00
+1- s10 s15 00
+01 s10 s0 10
+00 s15 s15 00
+1- s15 s0 10
+01 s15 s0 11
+.e
+)";
+
+// Multicycle CPU control unit.  Inputs: op1 op0 (00 alu, 01 mem, 10
+// branch, 11 halt) and the zero flag z.  Outputs: pc_en ir_en mem_rd
+// reg_wr.
+constexpr const char* kCtrlLike = R"(.i 3
+.o 4
+.r fetch
+--- fetch decode 0110
+00- decode exec_alu 0000
+01- decode exec_mem 0000
+10- decode branch 0000
+11- decode halt 0000
+--- exec_alu writeback 0000
+--- exec_mem writeback 0010
+--1 branch fetch 1000
+--0 branch fetch 0000
+--- writeback fetch 1001
+--- halt halt 0000
+.e
+)";
+
+std::vector<std::pair<std::string, std::string>> make_sources() {
+  return {
+      {"tlc_like", kTlcLike},     {"arb_like", kArbLike},
+      {"dk27_like", kDk27Like},   {"seq_detect", kSeqDetect},
+      {"elevator4", kElevator},   {"sender_like", kSenderLike},
+      {"vend20", kVend20},        {"ctrl_like", kCtrlLike},
+  };
+}
+
+}  // namespace
+
+const std::vector<std::pair<std::string, std::string>>& builtin_kiss_sources() {
+  static const std::vector<std::pair<std::string, std::string>> sources =
+      make_sources();
+  return sources;
+}
+
+std::vector<fsm::Fsm> builtin_fsms() {
+  std::vector<fsm::Fsm> machines;
+  for (const auto& [name, text] : builtin_kiss_sources()) {
+    machines.push_back(fsm::parse_kiss2(text, name));
+  }
+  return machines;
+}
+
+fsm::Fsm builtin_fsm(const std::string& name) {
+  for (const auto& [key, text] : builtin_kiss_sources()) {
+    if (key == name) return fsm::parse_kiss2(text, name);
+  }
+  throw std::out_of_range("unknown builtin fsm: " + name);
+}
+
+}  // namespace bddmin::workload

@@ -1,0 +1,29 @@
+/// \file builtin_fsms.hpp
+/// \brief Hand-written KISS2 machines embedded in the library.
+///
+/// The paper's benchmark set (s344, s386, ..., tlc, minmax5) is not
+/// redistributable here, so these are original machines written in the
+/// same style: small controllers with wildcarded inputs (traffic light,
+/// bus arbiter, sequence detector, elevator, ...).  The *_like suffix is
+/// a reminder that they are stand-ins, not the MCNC originals.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fsm/fsm.hpp"
+
+namespace bddmin::workload {
+
+/// (name, KISS2 source) for every embedded machine.
+[[nodiscard]] const std::vector<std::pair<std::string, std::string>>&
+builtin_kiss_sources();
+
+/// All embedded machines, parsed and validated.
+[[nodiscard]] std::vector<fsm::Fsm> builtin_fsms();
+
+/// One embedded machine by name; throws std::out_of_range.
+[[nodiscard]] fsm::Fsm builtin_fsm(const std::string& name);
+
+}  // namespace bddmin::workload

@@ -1,0 +1,354 @@
+#include "workload/generators.hpp"
+
+#include <random>
+#include <string>
+
+#include "fsm/fsm.hpp"
+
+namespace bddmin::workload {
+namespace {
+
+using fsm::SymbolicFsm;
+
+SymbolicFsm base_machine(Manager& mgr, std::span<const std::uint32_t> input_vars,
+                         std::span<const std::uint32_t> state_vars) {
+  SymbolicFsm sym;
+  sym.input_vars.assign(input_vars.begin(), input_vars.end());
+  sym.state_vars.assign(state_vars.begin(), state_vars.end());
+  (void)mgr;
+  return sym;
+}
+
+/// All-zero initial state over the machine's state bits.
+Edge zero_state(Manager& mgr, std::span<const std::uint32_t> state_vars) {
+  Edge init = kOne;
+  for (const std::uint32_t v : state_vars) {
+    init = mgr.and_(init, mgr.nvar_edge(v));
+  }
+  return init;
+}
+
+/// Ripple-carry sum of the state register and an addend vector (shorter
+/// addend is zero-extended); returns per-bit sums, carry-out in *carry.
+std::vector<Edge> ripple_add(Manager& mgr, std::span<const Edge> a,
+                             std::span<const Edge> b, Edge* carry_out) {
+  std::vector<Edge> sum(a.size());
+  Edge carry = kZero;
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    const Edge bk = k < b.size() ? b[k] : kZero;
+    const Edge axb = mgr.xor_(a[k], bk);
+    sum[k] = mgr.xor_(axb, carry);
+    carry = mgr.or_(mgr.and_(a[k], bk), mgr.and_(axb, carry));
+  }
+  if (carry_out) *carry_out = carry;
+  return sum;
+}
+
+std::vector<Edge> literals(Manager& mgr, std::span<const std::uint32_t> vars) {
+  std::vector<Edge> lits(vars.size());
+  for (std::size_t k = 0; k < vars.size(); ++k) lits[k] = mgr.var_edge(vars[k]);
+  return lits;
+}
+
+/// a < b over equal-width unsigned vectors (bit 0 = LSB).
+Edge unsigned_less(Manager& mgr, std::span<const Edge> a,
+                   std::span<const Edge> b) {
+  Edge less = kZero;  // scan from LSB: higher bits override
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    const Edge eq = mgr.xnor_(a[k], b[k]);
+    less = mgr.ite(eq, less, mgr.and_(!a[k], b[k]));
+  }
+  return less;
+}
+
+}  // namespace
+
+MachineSpec make_counter(unsigned bits) {
+  MachineSpec spec;
+  spec.name = "counter" + std::to_string(bits);
+  spec.num_inputs = 1;
+  spec.num_state_bits = bits;
+  spec.num_outputs = 1;
+  spec.build = [](Manager& mgr, std::span<const std::uint32_t> in,
+                  std::span<const std::uint32_t> st) {
+    SymbolicFsm sym = base_machine(mgr, in, st);
+    const Edge enable = mgr.var_edge(in[0]);
+    Edge carry = enable;
+    for (const std::uint32_t v : st) {
+      const Edge s = mgr.var_edge(v);
+      sym.next_state.push_back(mgr.xor_(s, carry));
+      carry = mgr.and_(s, carry);
+    }
+    sym.outputs.push_back(carry);
+    sym.initial = zero_state(mgr, st);
+    return sym;
+  };
+  return spec;
+}
+
+MachineSpec make_mod_counter(unsigned modulus) {
+  unsigned bits = 1;
+  while ((1u << bits) < modulus) ++bits;
+  MachineSpec spec;
+  spec.name = "mod" + std::to_string(modulus);
+  spec.num_inputs = 1;
+  spec.num_state_bits = bits;
+  spec.num_outputs = 1;
+  spec.build = [bits, modulus](Manager& mgr,
+                               std::span<const std::uint32_t> in,
+                               std::span<const std::uint32_t> st) {
+    SymbolicFsm sym = base_machine(mgr, in, st);
+    const Edge enable = mgr.var_edge(in[0]);
+    // wrap = (state == modulus - 1)
+    Edge wrap = kOne;
+    for (unsigned k = 0; k < bits; ++k) {
+      const Edge lit = ((modulus - 1) >> k) & 1 ? mgr.var_edge(st[k])
+                                                : mgr.nvar_edge(st[k]);
+      wrap = mgr.and_(wrap, lit);
+    }
+    Edge carry = kOne;
+    for (unsigned k = 0; k < bits; ++k) {
+      const Edge s = mgr.var_edge(st[k]);
+      const Edge inc = mgr.xor_(s, carry);
+      carry = mgr.and_(s, carry);
+      const Edge stepped = mgr.ite(wrap, kZero, inc);
+      sym.next_state.push_back(mgr.ite(enable, stepped, s));
+    }
+    sym.outputs.push_back(mgr.and_(enable, wrap));
+    sym.initial = zero_state(mgr, st);
+    return sym;
+  };
+  return spec;
+}
+
+MachineSpec make_gray_counter(unsigned bits) {
+  MachineSpec spec;
+  spec.name = "gray" + std::to_string(bits);
+  spec.num_inputs = 1;
+  spec.num_state_bits = bits;
+  spec.num_outputs = 1;
+  spec.build = [bits](Manager& mgr, std::span<const std::uint32_t> in,
+                      std::span<const std::uint32_t> st) {
+    SymbolicFsm sym = base_machine(mgr, in, st);
+    const Edge enable = mgr.var_edge(in[0]);
+    // Decode gray -> binary, increment, encode back.
+    std::vector<Edge> binary(bits);
+    Edge acc = kZero;
+    for (unsigned k = bits; k-- > 0;) {
+      acc = mgr.xor_(acc, mgr.var_edge(st[k]));
+      binary[k] = acc;
+    }
+    Edge carry = kOne;
+    std::vector<Edge> inc(bits);
+    for (unsigned k = 0; k < bits; ++k) {
+      inc[k] = mgr.xor_(binary[k], carry);
+      carry = mgr.and_(binary[k], carry);
+    }
+    for (unsigned k = 0; k < bits; ++k) {
+      const Edge hi = k + 1 < bits ? inc[k + 1] : kZero;
+      const Edge gray_k = mgr.xor_(inc[k], hi);
+      sym.next_state.push_back(
+          mgr.ite(enable, gray_k, mgr.var_edge(st[k])));
+    }
+    sym.outputs.push_back(mgr.var_edge(st[bits - 1]));
+    sym.initial = zero_state(mgr, st);
+    return sym;
+  };
+  return spec;
+}
+
+MachineSpec make_lfsr(unsigned bits, std::uint64_t taps) {
+  MachineSpec spec;
+  spec.name = "lfsr" + std::to_string(bits);
+  spec.num_inputs = 1;
+  spec.num_state_bits = bits;
+  spec.num_outputs = 1;
+  spec.build = [bits, taps](Manager& mgr, std::span<const std::uint32_t> in,
+                            std::span<const std::uint32_t> st) {
+    SymbolicFsm sym = base_machine(mgr, in, st);
+    const Edge enable = mgr.var_edge(in[0]);
+    Edge feedback = kZero;
+    for (unsigned k = 0; k < bits; ++k) {
+      if ((taps >> k) & 1) feedback = mgr.xor_(feedback, mgr.var_edge(st[k]));
+    }
+    for (unsigned k = 0; k < bits; ++k) {
+      const Edge shifted = k + 1 < bits ? mgr.var_edge(st[k + 1]) : feedback;
+      sym.next_state.push_back(mgr.ite(enable, shifted, mgr.var_edge(st[k])));
+    }
+    sym.outputs.push_back(mgr.var_edge(st[0]));
+    // Seed at state 1 (the all-zero state is a fixed point of an LFSR).
+    Edge init = mgr.var_edge(st[0]);
+    for (unsigned k = 1; k < bits; ++k) init = mgr.and_(init, mgr.nvar_edge(st[k]));
+    sym.initial = init;
+    return sym;
+  };
+  return spec;
+}
+
+MachineSpec make_accumulator(unsigned bits, unsigned input_bits) {
+  MachineSpec spec;
+  spec.name = "accum" + std::to_string(bits) + "x" + std::to_string(input_bits);
+  spec.num_inputs = input_bits;
+  spec.num_state_bits = bits;
+  spec.num_outputs = 2;
+  spec.build = [bits](Manager& mgr, std::span<const std::uint32_t> in,
+                      std::span<const std::uint32_t> st) {
+    SymbolicFsm sym = base_machine(mgr, in, st);
+    const std::vector<Edge> state_lits = literals(mgr, st);
+    const std::vector<Edge> addend = literals(mgr, in);
+    Edge carry_out = kZero;
+    sym.next_state = ripple_add(mgr, state_lits, addend, &carry_out);
+    sym.outputs.push_back(mgr.var_edge(st[bits - 1]));
+    sym.outputs.push_back(carry_out);
+    sym.initial = zero_state(mgr, st);
+    return sym;
+  };
+  return spec;
+}
+
+MachineSpec make_mult_register(unsigned bits, unsigned input_bits) {
+  MachineSpec spec;
+  spec.name = "multreg" + std::to_string(bits);
+  spec.num_inputs = input_bits;
+  spec.num_state_bits = bits;
+  spec.num_outputs = 1;
+  spec.build = [bits](Manager& mgr, std::span<const std::uint32_t> in,
+                      std::span<const std::uint32_t> st) {
+    SymbolicFsm sym = base_machine(mgr, in, st);
+    const std::vector<Edge> s = literals(mgr, st);
+    // 5*state = (state << 2) + state (mod 2^bits).
+    std::vector<Edge> shifted(bits, kZero);
+    for (unsigned k = 2; k < bits; ++k) shifted[k] = s[k - 2];
+    std::vector<Edge> five = ripple_add(mgr, s, shifted, nullptr);
+    const std::vector<Edge> addend = literals(mgr, in);
+    sym.next_state = ripple_add(mgr, five, addend, nullptr);
+    sym.outputs.push_back(sym.next_state[bits - 1]);
+    sym.initial = zero_state(mgr, st);
+    return sym;
+  };
+  return spec;
+}
+
+MachineSpec make_minmax(unsigned word_bits) {
+  MachineSpec spec;
+  spec.name = "minmax" + std::to_string(word_bits);
+  spec.num_inputs = word_bits;
+  spec.num_state_bits = 2 * word_bits;  // min register, then max register
+  spec.num_outputs = 1;
+  spec.build = [word_bits](Manager& mgr, std::span<const std::uint32_t> in,
+                           std::span<const std::uint32_t> st) {
+    SymbolicFsm sym = base_machine(mgr, in, st);
+    const std::vector<Edge> word = literals(mgr, in);
+    const std::vector<Edge> lo = literals(mgr, st.subspan(0, word_bits));
+    const std::vector<Edge> hi = literals(mgr, st.subspan(word_bits));
+    const Edge below = unsigned_less(mgr, word, lo);
+    const Edge above = unsigned_less(mgr, hi, word);
+    for (unsigned k = 0; k < word_bits; ++k) {
+      sym.next_state.push_back(mgr.ite(below, word[k], lo[k]));
+    }
+    for (unsigned k = 0; k < word_bits; ++k) {
+      sym.next_state.push_back(mgr.ite(above, word[k], hi[k]));
+    }
+    sym.outputs.push_back(below);
+    // min starts all-ones, max all-zeros.
+    Edge init = kOne;
+    for (unsigned k = 0; k < word_bits; ++k) {
+      init = mgr.and_(init, mgr.var_edge(st[k]));
+      init = mgr.and_(init, mgr.nvar_edge(st[word_bits + k]));
+    }
+    sym.initial = init;
+    return sym;
+  };
+  return spec;
+}
+
+MachineSpec make_shift_register(unsigned bits) {
+  MachineSpec spec;
+  spec.name = "shift" + std::to_string(bits);
+  spec.num_inputs = 1;
+  spec.num_state_bits = bits;
+  spec.num_outputs = 2;
+  spec.build = [bits](Manager& mgr, std::span<const std::uint32_t> in,
+                      std::span<const std::uint32_t> st) {
+    SymbolicFsm sym = base_machine(mgr, in, st);
+    sym.next_state.push_back(mgr.var_edge(in[0]));
+    for (unsigned k = 1; k < bits; ++k) {
+      sym.next_state.push_back(mgr.var_edge(st[k - 1]));
+    }
+    sym.outputs.push_back(mgr.var_edge(st[bits - 1]));
+    Edge parity = kZero;
+    for (const std::uint32_t v : st) parity = mgr.xor_(parity, mgr.var_edge(v));
+    sym.outputs.push_back(parity);
+    sym.initial = zero_state(mgr, st);
+    return sym;
+  };
+  return spec;
+}
+
+MachineSpec make_bit_setter(unsigned bits) {
+  unsigned input_bits = 1;
+  while ((1u << input_bits) < bits) ++input_bits;
+  MachineSpec spec;
+  spec.name = "bitset" + std::to_string(bits);
+  spec.num_inputs = input_bits;
+  spec.num_state_bits = bits;
+  spec.num_outputs = 1;
+  spec.build = [bits, input_bits](Manager& mgr,
+                                  std::span<const std::uint32_t> in,
+                                  std::span<const std::uint32_t> st) {
+    SymbolicFsm sym = base_machine(mgr, in, st);
+    for (unsigned k = 0; k < bits; ++k) {
+      // selected_k = (input == k), as a cube over the input bits.
+      Edge selected = kOne;
+      for (unsigned i = 0; i < input_bits; ++i) {
+        selected = mgr.and_(selected, ((k >> i) & 1) ? mgr.var_edge(in[i])
+                                                     : mgr.nvar_edge(in[i]));
+      }
+      sym.next_state.push_back(mgr.or_(mgr.var_edge(st[k]), selected));
+    }
+    Edge parity = kZero;
+    for (const std::uint32_t v : st) parity = mgr.xor_(parity, mgr.var_edge(v));
+    sym.outputs.push_back(parity);
+    sym.initial = zero_state(mgr, st);
+    return sym;
+  };
+  return spec;
+}
+
+MachineSpec make_random_mealy(unsigned num_states, unsigned input_bits,
+                              unsigned num_outputs, std::uint64_t seed) {
+  return fsm::spec_from_fsm(
+      make_random_mealy_fsm(num_states, input_bits, num_outputs, seed));
+}
+
+fsm::Fsm make_random_mealy_fsm(unsigned num_states, unsigned input_bits,
+                               unsigned num_outputs, std::uint64_t seed) {
+  fsm::Fsm machine;
+  machine.name = "mealy" + std::to_string(num_states) + "s" +
+                 std::to_string(seed);
+  machine.num_inputs = input_bits;
+  machine.num_outputs = num_outputs;
+  std::mt19937_64 rng(seed);
+  for (unsigned s = 0; s < num_states; ++s) {
+    machine.add_state("s" + std::to_string(s));
+  }
+  std::uniform_int_distribution<unsigned> next_dist(0, num_states - 1);
+  std::bernoulli_distribution bit(0.5);
+  for (unsigned s = 0; s < num_states; ++s) {
+    for (unsigned m = 0; m < (1u << input_bits); ++m) {
+      fsm::Transition t;
+      for (unsigned i = 0; i < input_bits; ++i) {
+        t.input.push_back(((m >> i) & 1) ? '1' : '0');
+      }
+      t.from = machine.states[s];
+      t.to = machine.states[next_dist(rng)];
+      for (unsigned j = 0; j < num_outputs; ++j) {
+        t.output.push_back(bit(rng) ? '1' : '0');
+      }
+      machine.transitions.push_back(std::move(t));
+    }
+  }
+  return machine;
+}
+
+}  // namespace bddmin::workload

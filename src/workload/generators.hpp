@@ -1,0 +1,74 @@
+/// \file generators.hpp
+/// \brief Synthetic sequential machines standing in for the MCNC/ISCAS'89
+/// benchmarks of the paper's experiments (see DESIGN.md, substitutions).
+///
+/// Each generator returns a MachineSpec whose next-state logic is built
+/// directly as BDD circuits (ripple adders, comparators, shift/feedback
+/// networks), producing product-machine traversals with the same
+/// character as the paper's: wide care sets in the first BFS steps and
+/// tiny ones near the fixed point.
+#pragma once
+
+#include <cstdint>
+
+#include "fsm/encoding.hpp"
+
+namespace bddmin::workload {
+
+using fsm::MachineSpec;
+
+/// Binary up-counter with an enable input; outputs the carry-out.
+[[nodiscard]] MachineSpec make_counter(unsigned bits);
+
+/// Modulo counter: next = (state + 1) mod modulus when enabled; outputs
+/// the wrap signal.  With a non-power-of-two modulus the encodings
+/// >= modulus are unreachable — the textbook source of next-state
+/// don't cares (e.g. modulus 10 = a BCD digit).
+[[nodiscard]] MachineSpec make_mod_counter(unsigned modulus);
+
+/// Gray-code counter with enable; outputs the top code bit.
+[[nodiscard]] MachineSpec make_gray_counter(unsigned bits);
+
+/// Fibonacci LFSR with the given tap mask (bit k taps state bit k) and an
+/// enable input; outputs the serial bit.  Seeds at state 1.
+[[nodiscard]] MachineSpec make_lfsr(unsigned bits, std::uint64_t taps);
+
+/// Accumulator: state += input word (mod 2^bits) — the carry-propagate
+/// flavour of cbp.32.4.  Outputs the accumulator MSB and carry-out.
+[[nodiscard]] MachineSpec make_accumulator(unsigned bits, unsigned input_bits);
+
+/// Register fed by shift-and-add multiplier logic:
+/// next = 5*state + input (mod 2^bits) — the mult16b flavour without the
+/// exponential BDD blow-up of a full multiplier.
+[[nodiscard]] MachineSpec make_mult_register(unsigned bits, unsigned input_bits);
+
+/// Tracks the minimum and maximum of the input word stream (the minmax
+/// benchmarks); outputs the comparison input<min.
+[[nodiscard]] MachineSpec make_minmax(unsigned word_bits);
+
+/// Serial-in shift register; outputs the oldest bit and the parity.
+[[nodiscard]] MachineSpec make_shift_register(unsigned bits);
+
+/// Monotone bit-setter: the input word selects one state bit to set
+/// (next = state | onehot(input)); outputs the parity.  Reachability
+/// from 0 sweeps the Hamming-weight shells: after t steps the reached
+/// set is weight <= t and the frontier is weight == t — symmetric
+/// functions whose covers genuinely differ in BDD size, which makes the
+/// frontier-minimization instances non-trivial.
+[[nodiscard]] MachineSpec make_bit_setter(unsigned bits);
+
+/// Random deterministic completely specified Mealy machine over
+/// `2^input_bits` input minterms (explicit KISS-style machine).
+[[nodiscard]] MachineSpec make_random_mealy(unsigned num_states,
+                                            unsigned input_bits,
+                                            unsigned num_outputs,
+                                            std::uint64_t seed);
+
+/// The explicit FSM behind make_random_mealy, for callers that want to
+/// re-encode or mutate it before building the spec.
+[[nodiscard]] fsm::Fsm make_random_mealy_fsm(unsigned num_states,
+                                             unsigned input_bits,
+                                             unsigned num_outputs,
+                                             std::uint64_t seed);
+
+}  // namespace bddmin::workload

@@ -1,0 +1,77 @@
+#include "workload/instances.hpp"
+
+#include <bit>
+#include <cctype>
+#include <stdexcept>
+#include <vector>
+
+#include "bdd/ops.hpp"
+#include "bdd/truth_table.hpp"
+
+namespace bddmin::workload {
+
+minimize::IncSpec from_leaves(Manager& mgr, std::string_view leaves) {
+  std::vector<char> values;
+  for (const char ch : leaves) {
+    if (std::isspace(static_cast<unsigned char>(ch))) continue;
+    if (ch != '0' && ch != '1' && ch != 'd') {
+      throw std::invalid_argument("bad leaf char");
+    }
+    values.push_back(ch);
+  }
+  if (values.empty() || !std::has_single_bit(values.size())) {
+    throw std::invalid_argument("leaf count must be a power of two");
+  }
+  const unsigned n = static_cast<unsigned>(std::bit_width(values.size()) - 1);
+  if (n > kMaxTtVars) throw std::invalid_argument("too many leaf variables");
+  std::uint64_t f_tt = 0;
+  std::uint64_t c_tt = 0;
+  for (std::size_t leaf = 0; leaf < values.size(); ++leaf) {
+    // Leaf order: left branch = 0 with x0 on top, so x_v is bit (n-1-v)
+    // of the leaf index; truth-table minterms keep x_v in bit v.
+    std::uint64_t m = 0;
+    for (unsigned v = 0; v < n; ++v) {
+      if ((leaf >> (n - 1 - v)) & 1) m |= 1ull << v;
+    }
+    if (values[leaf] == '1') f_tt |= 1ull << m;
+    if (values[leaf] != 'd') c_tt |= 1ull << m;
+  }
+  return {from_tt(mgr, f_tt, n), from_tt(mgr, c_tt, n)};
+}
+
+Edge random_function(Manager& mgr, unsigned num_vars, double density,
+                     std::mt19937_64& rng) {
+  if (density <= 0.0) return kZero;
+  if (density >= 1.0) return kOne;
+  const bool carve = density > 0.5;  // build the sparse side and negate
+  const double target = carve ? 1.0 - density : density;
+  std::uniform_int_distribution<unsigned> var_dist(0, num_vars - 1);
+  std::bernoulli_distribution phase(0.5);
+  // Cube width around log2(2/target): each cube is at most half the
+  // target mass, so the result is a union of several cubes rather than a
+  // single cube (which classify_call would filter as a trivial instance).
+  unsigned width = 1;
+  while (width < num_vars && std::ldexp(1.0, -static_cast<int>(width)) > target) {
+    ++width;
+  }
+  if (width < num_vars) ++width;
+  Edge f = kZero;
+  for (int guard = 0; guard < 4096 && sat_fraction(mgr, f) < target; ++guard) {
+    Edge cube = kOne;
+    for (unsigned k = 0; k < width; ++k) {
+      const unsigned v = var_dist(rng);
+      cube = mgr.and_(cube, phase(rng) ? mgr.var_edge(v) : mgr.nvar_edge(v));
+    }
+    f = mgr.or_(f, cube);
+  }
+  return carve ? !f : f;
+}
+
+minimize::IncSpec random_instance(Manager& mgr, unsigned num_vars,
+                                  double c_density, std::mt19937_64& rng) {
+  const Edge f = random_function(mgr, num_vars, 0.5, rng);
+  const Edge c = random_function(mgr, num_vars, c_density, rng);
+  return {f, c};
+}
+
+}  // namespace bddmin::workload

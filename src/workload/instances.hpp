@@ -1,0 +1,31 @@
+/// \file instances.hpp
+/// \brief Raw EBM instances: the paper's leaf notation and random
+/// incompletely specified functions with a target care-onset density.
+#pragma once
+
+#include <random>
+#include <string_view>
+
+#include "minimize/incspec.hpp"
+
+namespace bddmin::workload {
+
+/// Parse the paper's Section 3.2 notation: function values on the leaves
+/// of the binary decision tree listed left to right ('0', '1', 'd' =
+/// don't care; whitespace ignored), left branch = 0, x0 topmost.
+/// "d1 01" is the two-variable instance of counterexample 1.
+[[nodiscard]] minimize::IncSpec from_leaves(Manager& mgr, std::string_view leaves);
+
+/// Random function over variables [0, num_vars) whose onset fraction is
+/// approximately \p density: random cubes are accumulated (or carved out,
+/// for density > 1/2) until the target is crossed.
+[[nodiscard]] Edge random_function(Manager& mgr, unsigned num_vars, double density,
+                                   std::mt19937_64& rng);
+
+/// Random EBM instance with a target care-onset density — used to
+/// populate the paper's c_onset_size buckets directly.
+[[nodiscard]] minimize::IncSpec random_instance(Manager& mgr, unsigned num_vars,
+                                                double c_density,
+                                                std::mt19937_64& rng);
+
+}  // namespace bddmin::workload

@@ -1,0 +1,63 @@
+#include "workload/builtin_fsms.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fsm/kiss.hpp"
+
+namespace bddmin::workload {
+namespace {
+
+TEST(BuiltinFsms, AllParseAndValidate) {
+  const auto machines = builtin_fsms();
+  EXPECT_GE(machines.size(), 6u);
+  for (const fsm::Fsm& m : machines) {
+    EXPECT_NO_THROW(m.validate()) << m.name;
+    EXPECT_GT(m.num_inputs, 0u) << m.name;
+    EXPECT_GT(m.num_outputs, 0u) << m.name;
+    EXPECT_GE(m.states.size(), 2u) << m.name;
+  }
+}
+
+TEST(BuiltinFsms, LookupByName) {
+  const fsm::Fsm tlc = builtin_fsm("tlc_like");
+  EXPECT_EQ(tlc.num_inputs, 3u);
+  EXPECT_EQ(tlc.num_outputs, 4u);
+  EXPECT_EQ(tlc.reset_state, "HG");
+  EXPECT_THROW(builtin_fsm("missing"), std::out_of_range);
+}
+
+TEST(BuiltinFsms, SourcesRoundTripThroughKiss) {
+  for (const auto& [name, text] : builtin_kiss_sources()) {
+    const fsm::Fsm m = fsm::parse_kiss2(text, name);
+    const fsm::Fsm again = fsm::parse_kiss2(fsm::to_kiss2(m), name);
+    EXPECT_EQ(again.states, m.states) << name;
+    EXPECT_EQ(again.transitions.size(), m.transitions.size()) << name;
+  }
+}
+
+TEST(BuiltinFsms, UseWildcardedInputs) {
+  // The point of these machines is incompletely specified transition
+  // patterns; every multi-input machine should contain at least one '-'
+  // (single-input machines have nothing to wildcard).
+  for (const fsm::Fsm& m : builtin_fsms()) {
+    if (m.num_inputs < 2) continue;
+    bool has_wildcard = false;
+    for (const auto& t : m.transitions) {
+      has_wildcard |= t.input.find('-') != std::string::npos;
+    }
+    EXPECT_TRUE(has_wildcard) << m.name;
+  }
+}
+
+TEST(BuiltinFsms, NamesAreUniqueAndStable) {
+  const auto& sources = builtin_kiss_sources();
+  std::set<std::string> names;
+  for (const auto& [name, text] : sources) names.insert(name);
+  EXPECT_EQ(names.size(), sources.size());
+  EXPECT_TRUE(names.contains("tlc_like"));
+  EXPECT_TRUE(names.contains("arb_like"));
+  EXPECT_TRUE(names.contains("dk27_like"));
+}
+
+}  // namespace
+}  // namespace bddmin::workload

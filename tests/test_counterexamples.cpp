@@ -1,0 +1,150 @@
+/// Section 3.2's counterexamples, in the paper's leaf notation.  Each
+/// triple is (instance, size the heuristic finds, size of a minimum
+/// cover); they also demonstrate that no heuristic dominates another.
+#include <gtest/gtest.h>
+
+#include "bdd/ops.hpp"
+#include "minimize/exact.hpp"
+#include "minimize/sibling.hpp"
+#include "workload/instances.hpp"
+
+namespace bddmin::minimize {
+namespace {
+
+using workload::from_leaves;
+
+std::size_t exact_size(Manager& mgr, const IncSpec& spec, unsigned n) {
+  const auto result = exact_minimum(mgr, spec.f, spec.c, n);
+  EXPECT_TRUE(result.has_value());
+  return result->size;
+}
+
+TEST(Counterexamples, LeafNotationMatchesFigure1) {
+  // Figure 1: f = (x1 + x2)·x3 with leaves 01 01 01 11, don't cares at
+  // leaves 0,1 (x1=0, x2=0) and leaf 6 (110).
+  Manager mgr(3);
+  const IncSpec spec = from_leaves(mgr, "dd 01 01 d1");
+  // Care points: f(0,1,1)=1 f(0,1,0)=0 f(1,0,1)=1 f(1,0,0)=0 f(1,1,1)=1.
+  std::vector<bool> a(3, false);
+  const auto value = [&](bool x1, bool x2, bool x3) {
+    a[0] = x1;
+    a[1] = x2;
+    a[2] = x3;
+    return eval(mgr, spec.f, a);
+  };
+  const auto cares = [&](bool x1, bool x2, bool x3) {
+    a[0] = x1;
+    a[1] = x2;
+    a[2] = x3;
+    return eval(mgr, spec.c, a);
+  };
+  EXPECT_FALSE(cares(false, false, false));
+  EXPECT_FALSE(cares(false, false, true));
+  EXPECT_FALSE(cares(true, true, false));
+  EXPECT_TRUE(cares(false, true, true));
+  EXPECT_TRUE(value(false, true, true));
+  EXPECT_FALSE(value(false, true, false));
+  EXPECT_TRUE(value(true, true, true));
+}
+
+TEST(Counterexamples, Figure1MinimumIsTheSingleLiteral) {
+  // Figure 1's instance: the care values coincide with x3 everywhere, so
+  // the minimum cover is the 2-node BDD for x3 (the paper's Figure 1e/f
+  // show minimum solutions; 1d is a suboptimal one).
+  Manager mgr(3);
+  const IncSpec spec = from_leaves(mgr, "dd 01 01 d1");
+  const auto exact = exact_minimum(mgr, spec.f, spec.c, 3);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_EQ(exact->size, 2u);
+  // restrict and the one-/two-sided matchers find the minimum; constrain
+  // produces a suboptimal cover (the Figure 1d situation).
+  EXPECT_EQ(osm_td(mgr, spec.f, spec.c), mgr.var_edge(2));
+  EXPECT_EQ(tsm_td(mgr, spec.f, spec.c), mgr.var_edge(2));
+  EXPECT_EQ(restrict_dc(mgr, spec.f, spec.c), mgr.var_edge(2));
+  const Edge via_constrain = constrain(mgr, spec.f, spec.c);
+  EXPECT_TRUE(is_cover(mgr, via_constrain, spec));
+  EXPECT_GT(count_nodes(mgr, via_constrain), exact->size);
+}
+
+TEST(Counterexamples, Example1ConstrainIsSuboptimal) {
+  // (d1 01): constrain -> (11 01) size 3; minimum (01 01) = x2, size 2.
+  Manager mgr(2);
+  const IncSpec spec = from_leaves(mgr, "d1 01");
+  const Edge got = constrain(mgr, spec.f, spec.c);
+  EXPECT_TRUE(is_cover(mgr, got, spec));
+  EXPECT_EQ(count_nodes(mgr, got), 3u);
+  EXPECT_EQ(got, from_leaves(mgr, "11 01").f);
+  EXPECT_EQ(exact_size(mgr, spec, 2), 2u);
+  // osm_td and tsm_td find a minimum on this example.
+  EXPECT_EQ(count_nodes(mgr, osm_td(mgr, spec.f, spec.c)), 2u);
+  EXPECT_EQ(count_nodes(mgr, tsm_td(mgr, spec.f, spec.c)), 2u);
+}
+
+TEST(Counterexamples, Example2OsmTdIsSuboptimal) {
+  // (d1 01 1d 01): osm_td -> (01 01 11 01) size 4;
+  // minimum (11 01 11 01) size 3.
+  Manager mgr(3);
+  const IncSpec spec = from_leaves(mgr, "d1 01 1d 01");
+  const Edge got = osm_td(mgr, spec.f, spec.c);
+  EXPECT_TRUE(is_cover(mgr, got, spec));
+  EXPECT_EQ(got, from_leaves(mgr, "01 01 11 01").f);
+  EXPECT_EQ(count_nodes(mgr, got), 4u);
+  const Edge best = from_leaves(mgr, "11 01 11 01").f;
+  EXPECT_TRUE(is_cover(mgr, best, spec));
+  EXPECT_EQ(count_nodes(mgr, best), 3u);
+  EXPECT_EQ(exact_size(mgr, spec, 3), 3u);
+  // constrain and tsm_td find a minimum here (paper's remark).
+  EXPECT_EQ(count_nodes(mgr, constrain(mgr, spec.f, spec.c)), 3u);
+  EXPECT_EQ(count_nodes(mgr, tsm_td(mgr, spec.f, spec.c)), 3u);
+}
+
+TEST(Counterexamples, Example3TsmTdIsSuboptimal) {
+  // (1d d1 d0 0d): tsm_td -> (10 01 10 01) = xnor(x1,x2), size 3 with
+  // complement edges; minimum (11 11 00 00) = !x0, size 2.
+  Manager mgr(3);
+  const IncSpec spec = from_leaves(mgr, "1d d1 d0 0d");
+  const Edge got = tsm_td(mgr, spec.f, spec.c);
+  EXPECT_TRUE(is_cover(mgr, got, spec));
+  EXPECT_EQ(got, from_leaves(mgr, "10 01 10 01").f);
+  EXPECT_EQ(count_nodes(mgr, got), 3u);
+  const Edge best = from_leaves(mgr, "11 11 00 00").f;
+  EXPECT_TRUE(is_cover(mgr, best, spec));
+  EXPECT_EQ(count_nodes(mgr, best), 2u);
+  EXPECT_EQ(exact_size(mgr, spec, 3), 2u);
+  // constrain and osm_td find a minimum here (paper's remark).
+  EXPECT_EQ(count_nodes(mgr, constrain(mgr, spec.f, spec.c)), 2u);
+  EXPECT_EQ(count_nodes(mgr, osm_td(mgr, spec.f, spec.c)), 2u);
+}
+
+TEST(Counterexamples, NoHeuristicDominatesAnother) {
+  // Across examples 1-3, each of constrain/osm_td/tsm_td wins somewhere
+  // and loses somewhere.
+  Manager mgr(3);
+  const IncSpec e1 = from_leaves(mgr, "d1 01");
+  const IncSpec e2 = from_leaves(mgr, "d1 01 1d 01");
+  const IncSpec e3 = from_leaves(mgr, "1d d1 d0 0d");
+  const auto size = [&](Edge (*h)(Manager&, Edge, Edge), const IncSpec& s) {
+    return count_nodes(mgr, h(mgr, s.f, s.c));
+  };
+  EXPECT_GT(size(constrain, e1), size(osm_td, e1));
+  EXPECT_GT(size(osm_td, e2), size(constrain, e2));
+  EXPECT_GT(size(tsm_td, e3), size(constrain, e3));
+  EXPECT_GT(size(constrain, e1), size(tsm_td, e1));
+  EXPECT_GT(size(tsm_td, e3), size(osm_td, e3));
+  EXPECT_GT(size(osm_td, e2), size(tsm_td, e2));
+}
+
+TEST(Counterexamples, Proposition6ResultsCanExceedF) {
+  // Any non-optimal DC-insensitive algorithm has instances where the
+  // result is larger than f itself; exhibit one for constrain.
+  Manager mgr(2);
+  // In example 1, replace f's DC value so that f is already minimum:
+  // f = (01 01) = x2 (size 2); constrain still returns size 3.
+  const Edge f = from_leaves(mgr, "01 01").f;
+  const Edge c = from_leaves(mgr, "d1 01").c;
+  const Edge got = constrain(mgr, f, c);
+  EXPECT_GT(count_nodes(mgr, got), count_nodes(mgr, f));
+}
+
+}  // namespace
+}  // namespace bddmin::minimize

@@ -1,0 +1,51 @@
+#include "bdd/dot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bdd/ops.hpp"
+
+namespace bddmin {
+namespace {
+
+TEST(Dot, ContainsAllNodesAndRoots) {
+  Manager mgr(3);
+  const Edge f = mgr.ite(mgr.var_edge(0), mgr.var_edge(1), mgr.var_edge(2));
+  const std::vector<Edge> roots{f};
+  const std::vector<std::string> names{"mux"};
+  const std::string dot = to_dot(mgr, roots, names);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("mux"), std::string::npos);
+  EXPECT_NE(dot.find("x0"), std::string::npos);
+  EXPECT_NE(dot.find("x1"), std::string::npos);
+  EXPECT_NE(dot.find("x2"), std::string::npos);
+  // One line per edge out of each decision node + root arrow.
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+}
+
+TEST(Dot, ConstantsRenderWithoutDecisionNodes) {
+  Manager mgr(2);
+  const std::vector<Edge> roots{kOne, kZero};
+  const std::string dot = to_dot(mgr, roots);
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);
+  EXPECT_EQ(dot.find("x0"), std::string::npos);
+  // The complemented root must be drawn dotted.
+  EXPECT_NE(dot.find("style=dotted"), std::string::npos);
+}
+
+TEST(Dot, SharedForestEmitsEachNodeOnce) {
+  Manager mgr(3);
+  const Edge a = mgr.and_(mgr.var_edge(0), mgr.var_edge(2));
+  const Edge b = mgr.or_(mgr.var_edge(1), mgr.var_edge(2));
+  const std::vector<Edge> roots{a, b};
+  const std::string dot = to_dot(mgr, roots);
+  // The x2 node is shared: its label appears exactly once.
+  std::size_t count = 0;
+  for (std::size_t pos = dot.find("label=\"x2\""); pos != std::string::npos;
+       pos = dot.find("label=\"x2\"", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 1u);
+}
+
+}  // namespace
+}  // namespace bddmin

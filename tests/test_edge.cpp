@@ -1,0 +1,54 @@
+#include "bdd/edge.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace bddmin {
+namespace {
+
+TEST(Edge, ConstantsAreComplementsOfEachOther) {
+  EXPECT_EQ(!kOne, kZero);
+  EXPECT_EQ(!kZero, kOne);
+  EXPECT_NE(kOne, kZero);
+}
+
+TEST(Edge, ComplementIsInvolution) {
+  const Edge e{42};
+  EXPECT_EQ(!!e, e);
+}
+
+TEST(Edge, IndexAndComplementDecomposition) {
+  const Edge e{(7u << 1) | 1u};
+  EXPECT_EQ(e.index(), 7u);
+  EXPECT_TRUE(e.complemented());
+  EXPECT_FALSE(e.regular().complemented());
+  EXPECT_EQ(e.regular().index(), 7u);
+}
+
+TEST(Edge, ComplementIfFlipsConditionally) {
+  const Edge e{10};
+  EXPECT_EQ(e.complement_if(false), e);
+  EXPECT_EQ(e.complement_if(true), !e);
+}
+
+TEST(Edge, RegularOfRegularIsIdentity) {
+  const Edge e{20};
+  EXPECT_EQ(e.regular(), e);
+}
+
+TEST(Edge, HashDistinguishesComplement) {
+  std::unordered_set<Edge> set;
+  set.insert(Edge{4});
+  set.insert(Edge{5});
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(Edge{4}));
+}
+
+TEST(Edge, OrderingIsTotal) {
+  EXPECT_LT(kOne, kZero);  // bits 0 < 1
+  EXPECT_LT(Edge{2}, Edge{3});
+}
+
+}  // namespace
+}  // namespace bddmin

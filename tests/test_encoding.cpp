@@ -1,0 +1,163 @@
+#include "fsm/encoding.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bdd/ops.hpp"
+#include "fsm/kiss.hpp"
+#include "workload/generators.hpp"
+
+namespace bddmin::fsm {
+namespace {
+
+constexpr const char* kToggler = R"(.i 1
+.o 1
+.r off
+0 off off 0
+1 off on  0
+0 on  on  1
+1 on  off 1
+.e
+)";
+
+class EncodingFixture : public ::testing::Test {
+ protected:
+  Manager mgr{3};  // input var 0, state vars 1 (only one bit needed)
+  Fsm machine = parse_kiss2(kToggler, "toggler");
+  std::vector<std::uint32_t> in{0};
+  std::vector<std::uint32_t> st{1};
+};
+
+TEST_F(EncodingFixture, StateCodeEnumeratesBinaryEncodings) {
+  const std::vector<std::uint32_t> vars{1, 2};
+  EXPECT_EQ(state_code(mgr, vars, 0),
+            mgr.and_(mgr.nvar_edge(1), mgr.nvar_edge(2)));
+  EXPECT_EQ(state_code(mgr, vars, 1),
+            mgr.and_(mgr.var_edge(1), mgr.nvar_edge(2)));
+  EXPECT_EQ(state_code(mgr, vars, 3),
+            mgr.and_(mgr.var_edge(1), mgr.var_edge(2)));
+}
+
+TEST_F(EncodingFixture, PatternCubeHandlesWildcards) {
+  const std::vector<std::uint32_t> vars{0, 1, 2};
+  EXPECT_EQ(pattern_cube(mgr, vars, "---"), kOne);
+  EXPECT_EQ(pattern_cube(mgr, vars, "1-0"),
+            mgr.and_(mgr.var_edge(0), mgr.nvar_edge(2)));
+}
+
+TEST_F(EncodingFixture, TogglerSemantics) {
+  const SymbolicFsm sym = encode_fsm(mgr, machine, in, st);
+  ASSERT_EQ(sym.next_state.size(), 1u);
+  ASSERT_EQ(sym.outputs.size(), 1u);
+  // next = state XOR input; output = state.
+  EXPECT_EQ(sym.next_state[0], mgr.xor_(mgr.var_edge(1), mgr.var_edge(0)));
+  EXPECT_EQ(sym.outputs[0], mgr.var_edge(1));
+  EXPECT_EQ(sym.initial, mgr.nvar_edge(1));
+}
+
+TEST_F(EncodingFixture, LayoutMismatchThrows) {
+  const std::vector<std::uint32_t> wrong_inputs{0, 2};
+  EXPECT_THROW(encode_fsm(mgr, machine, wrong_inputs, st),
+               std::invalid_argument);
+  const std::vector<std::uint32_t> no_state_bits{};
+  EXPECT_THROW(encode_fsm(mgr, machine, in, no_state_bits),
+               std::invalid_argument);
+}
+
+TEST(Encoding, UnspecifiedPairsSelfLoop) {
+  // One state, input 1 unspecified: must self-loop with output 0.
+  Manager mgr(2);
+  const Fsm m = parse_kiss2(".i 1\n.o 1\n0 a a 1\n.e\n");
+  const std::vector<std::uint32_t> in{0};
+  const std::vector<std::uint32_t> st{1};
+  const SymbolicFsm sym = encode_fsm(mgr, m, in, st);
+  // Covered only at (input=0, state bit=0); everywhere else the state bit
+  // is held: next = uncovered & s = (x0 + x1) & x1 = x1.
+  EXPECT_EQ(sym.next_state[0], mgr.var_edge(1));
+  // Output asserted only on the explicit transition's condition.
+  EXPECT_EQ(sym.outputs[0], mgr.and_(mgr.nvar_edge(0), mgr.nvar_edge(1)));
+}
+
+TEST(Encoding, DashOutputsAreZero) {
+  Manager mgr(2);
+  const Fsm m = parse_kiss2(".i 1\n.o 2\n- a a -1\n.e\n");
+  const SymbolicFsm sym =
+      encode_fsm(mgr, m, std::vector<std::uint32_t>{0},
+                 std::vector<std::uint32_t>{1});
+  EXPECT_EQ(sym.outputs[0], kZero);
+  // Asserted on the transition's condition (any input, state code 0).
+  EXPECT_EQ(sym.outputs[1], mgr.nvar_edge(1));
+}
+
+TEST(Encoding, SpecFromFsmBuildsTheSameFunctions) {
+  Manager mgr(3);
+  const Fsm m = parse_kiss2(kToggler, "toggler");
+  const MachineSpec spec = spec_from_fsm(m);
+  EXPECT_EQ(spec.num_inputs, 1u);
+  EXPECT_EQ(spec.num_state_bits, 1u);
+  EXPECT_EQ(spec.num_outputs, 1u);
+  const std::vector<std::uint32_t> in{0};
+  const std::vector<std::uint32_t> st{1};
+  const SymbolicFsm direct = encode_fsm(mgr, m, in, st);
+  const SymbolicFsm via_spec = spec.build(mgr, in, st);
+  EXPECT_EQ(direct.next_state[0], via_spec.next_state[0]);
+  EXPECT_EQ(direct.outputs[0], via_spec.outputs[0]);
+  EXPECT_EQ(direct.initial, via_spec.initial);
+}
+
+TEST(Encoding, SimulateStepFollowsTheMachine) {
+  Manager mgr(3);
+  const Fsm m = parse_kiss2(kToggler, "toggler");
+  const SymbolicFsm sym =
+      encode_fsm(mgr, m, std::vector<std::uint32_t>{0},
+                 std::vector<std::uint32_t>{1});
+  // off --1--> on (output 0), on --1--> off (output 1), on --0--> on.
+  StepResult r = simulate_step(mgr, sym, {false}, {true});
+  EXPECT_EQ(r.next_state, std::vector<bool>{true});
+  EXPECT_EQ(r.outputs, std::vector<bool>{false});
+  r = simulate_step(mgr, sym, {true}, {true});
+  EXPECT_EQ(r.next_state, std::vector<bool>{false});
+  EXPECT_EQ(r.outputs, std::vector<bool>{true});
+  r = simulate_step(mgr, sym, {true}, {false});
+  EXPECT_EQ(r.next_state, std::vector<bool>{true});
+}
+
+TEST(Encoding, SimulationAgreesWithSymbolicImage) {
+  Manager mgr(8);
+  const workload::MachineSpec spec = workload::make_random_mealy(6, 2, 2, 3);
+  const std::vector<std::uint32_t> in{0, 1};
+  const std::vector<std::uint32_t> st{2, 3, 4};
+  const SymbolicFsm sym = spec.build(mgr, in, st);
+  // For every (state, input): the simulated successor must satisfy every
+  // next-state function's truth value.
+  std::vector<bool> assignment(8, false);
+  for (unsigned s = 0; s < 8; ++s) {
+    for (unsigned i = 0; i < 4; ++i) {
+      std::vector<bool> state_bits{(s & 1) != 0, (s & 2) != 0, (s & 4) != 0};
+      std::vector<bool> input_bits{(i & 1) != 0, (i & 2) != 0};
+      const StepResult r = simulate_step(mgr, sym, state_bits, input_bits);
+      assignment[0] = input_bits[0];
+      assignment[1] = input_bits[1];
+      for (unsigned k = 0; k < 3; ++k) assignment[st[k]] = state_bits[k];
+      for (unsigned k = 0; k < 3; ++k) {
+        EXPECT_EQ(eval(mgr, sym.next_state[k], assignment), r.next_state[k]);
+      }
+    }
+  }
+}
+
+TEST(Encoding, WideMachineUsesAllStateBits) {
+  Manager mgr(4);
+  // 3 states need 2 bits; state s2 encoding = 10 (bit0=0, bit1=1).
+  const Fsm m = parse_kiss2(
+      ".i 1\n.o 1\n0 s0 s1 0\n1 s0 s2 0\n- s1 s0 1\n- s2 s0 1\n.e\n");
+  const std::vector<std::uint32_t> in{0};
+  const std::vector<std::uint32_t> st{1, 2};
+  const SymbolicFsm sym = encode_fsm(mgr, m, in, st);
+  // From s0 (00) with input 1 we reach s2: next bit1 must be set there.
+  const Edge cond = mgr.and_(mgr.var_edge(0), state_code(mgr, st, 0));
+  EXPECT_TRUE(mgr.leq(cond, sym.next_state[1]));
+  EXPECT_TRUE(mgr.disjoint(cond, sym.next_state[0]));
+}
+
+}  // namespace
+}  // namespace bddmin::fsm

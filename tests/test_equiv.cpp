@@ -1,0 +1,168 @@
+#include "fsm/equiv.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fsm/kiss.hpp"
+#include "minimize/sibling.hpp"
+#include "workload/builtin_fsms.hpp"
+#include "workload/generators.hpp"
+
+namespace bddmin::fsm {
+namespace {
+
+TEST(Equiv, MachineEqualsItself) {
+  const MachineSpec counter = workload::make_counter(3);
+  const EquivResult result = check_self_equivalence(counter);
+  EXPECT_TRUE(result.equivalent);
+  EXPECT_GT(result.iterations, 0u);
+  // Self-product reaches exactly the diagonal: 8 product states.
+  EXPECT_DOUBLE_EQ(result.product_states, 8.0);
+}
+
+TEST(Equiv, BinaryAndGrayCountersDiffer) {
+  // Same state count, different output behaviour.
+  const EquivResult result =
+      check_equivalence(workload::make_counter(3), workload::make_gray_counter(3));
+  EXPECT_FALSE(result.equivalent);
+}
+
+TEST(Equiv, StateRenamingPreservesEquivalence) {
+  const Fsm original = workload::builtin_fsm("dk27_like");
+  Fsm renamed = original;
+  for (auto& t : renamed.transitions) {
+    t.from = "x_" + t.from;
+    t.to = "x_" + t.to;
+  }
+  renamed.states.clear();
+  renamed.reset_state.clear();
+  for (const auto& t : original.transitions) {
+    renamed.add_state("x_" + t.from);
+    renamed.add_state("x_" + t.to);
+  }
+  renamed.reset_state = "x_" + original.reset_state;
+  const EquivResult result = check_equivalence(spec_from_fsm(original),
+                                               spec_from_fsm(renamed));
+  EXPECT_TRUE(result.equivalent);
+}
+
+TEST(Equiv, SingleOutputFlipIsDetected) {
+  const Fsm good = workload::builtin_fsm("seq_detect");
+  Fsm bad = good;
+  // Flip the accepting output bit.
+  for (auto& t : bad.transitions) {
+    if (t.output == "1") {
+      t.output = "0";
+      break;
+    }
+  }
+  const EquivResult result =
+      check_equivalence(spec_from_fsm(good), spec_from_fsm(bad));
+  EXPECT_FALSE(result.equivalent);
+}
+
+TEST(Equiv, UnreachableDifferencesDoNotMatter) {
+  // Add an unreachable state with wild outputs: machines stay equivalent.
+  const Fsm base = workload::builtin_fsm("elevator4");
+  Fsm extended = base;
+  extended.add_state("limbo");
+  extended.transitions.push_back({"--", "limbo", "limbo", "1"});
+  const EquivResult result =
+      check_equivalence(spec_from_fsm(base), spec_from_fsm(extended));
+  EXPECT_TRUE(result.equivalent);
+}
+
+TEST(Equiv, InterfaceMismatchThrows) {
+  EXPECT_THROW((void)check_equivalence(workload::make_counter(2),
+                                       workload::make_accumulator(3, 2)),
+               std::invalid_argument);
+}
+
+TEST(Equiv, FunctionalImageAgreesWithRelational) {
+  const MachineSpec spec = workload::make_random_mealy(5, 1, 2, 77);
+  EquivOptions relational;
+  EquivOptions functional;
+  functional.image_method = ImageMethod::kFunctional;
+  const EquivResult a = check_self_equivalence(spec, relational);
+  const EquivResult b = check_self_equivalence(spec, functional);
+  EXPECT_TRUE(a.equivalent);
+  EXPECT_TRUE(b.equivalent);
+  EXPECT_DOUBLE_EQ(a.product_states, b.product_states);
+}
+
+TEST(Equiv, MinimizeHookIsExercised) {
+  std::size_t calls = 0;
+  EquivOptions opts;
+  opts.minimize = [&](Manager& m, Edge f, Edge c) {
+    ++calls;
+    return minimize::constrain(m, f, c);
+  };
+  const EquivResult result =
+      check_self_equivalence(workload::make_counter(3), opts);
+  EXPECT_TRUE(result.equivalent);
+  EXPECT_EQ(calls, result.iterations);
+}
+
+TEST(Equiv, CounterexampleIsProducedAndReplays) {
+  const fsm::MachineSpec bin = workload::make_counter(3);
+  const fsm::MachineSpec gray = workload::make_gray_counter(3);
+  const EquivResult result = check_equivalence(bin, gray);
+  ASSERT_FALSE(result.equivalent);
+  ASSERT_TRUE(result.counterexample.has_value());
+  const Counterexample& cex = *result.counterexample;
+  EXPECT_FALSE(cex.inputs.empty());
+  for (const auto& step : cex.inputs) EXPECT_EQ(step.size(), 1u);
+  EXPECT_TRUE(validate_counterexample(bin, gray, cex));
+}
+
+TEST(Equiv, CounterexampleForMutatedBuiltin) {
+  const fsm::Fsm good = workload::builtin_fsm("seq_detect");
+  fsm::Fsm bad = good;
+  for (auto& t : bad.transitions) {
+    if (t.output == "1") {
+      t.output = "0";
+      break;
+    }
+  }
+  const fsm::MachineSpec a = spec_from_fsm(good);
+  const fsm::MachineSpec b = spec_from_fsm(bad);
+  const EquivResult result = check_equivalence(a, b);
+  ASSERT_FALSE(result.equivalent);
+  ASSERT_TRUE(result.counterexample.has_value());
+  // The 1011 detector needs at least 4 symbols to expose the broken
+  // accepting transition.
+  EXPECT_GE(result.counterexample->inputs.size(), 4u);
+  EXPECT_TRUE(validate_counterexample(a, b, *result.counterexample));
+}
+
+TEST(Equiv, CounterexampleSurvivesFrontierMinimizationChoices) {
+  // Aggressive frontier covers (restrict) may make the BFS skip rings;
+  // the extractor must still produce a valid trace.
+  const fsm::MachineSpec bin = workload::make_counter(3);
+  const fsm::MachineSpec gray = workload::make_gray_counter(3);
+  EquivOptions opts;
+  opts.minimize = [](Manager& m, Edge f, Edge c) {
+    return minimize::restrict_dc(m, f, c);
+  };
+  opts.image_method = ImageMethod::kFunctional;
+  const EquivResult result = check_equivalence(bin, gray, opts);
+  ASSERT_FALSE(result.equivalent);
+  ASSERT_TRUE(result.counterexample.has_value());
+  EXPECT_TRUE(validate_counterexample(bin, gray, *result.counterexample));
+}
+
+TEST(Equiv, NoCounterexampleWhenEquivalent) {
+  const EquivResult result =
+      check_self_equivalence(workload::make_shift_register(3));
+  EXPECT_TRUE(result.equivalent);
+  EXPECT_FALSE(result.counterexample.has_value());
+}
+
+TEST(Equiv, AllBuiltinMachinesAreSelfEquivalent) {
+  for (const Fsm& machine : workload::builtin_fsms()) {
+    const EquivResult result = check_self_equivalence(spec_from_fsm(machine));
+    EXPECT_TRUE(result.equivalent) << machine.name;
+  }
+}
+
+}  // namespace
+}  // namespace bddmin::fsm

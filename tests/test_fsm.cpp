@@ -1,0 +1,88 @@
+#include "fsm/fsm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace bddmin::fsm {
+namespace {
+
+Fsm tiny() {
+  Fsm m;
+  m.name = "tiny";
+  m.num_inputs = 1;
+  m.num_outputs = 1;
+  m.add_state("a");
+  m.add_state("b");
+  m.transitions.push_back({"0", "a", "a", "0"});
+  m.transitions.push_back({"1", "a", "b", "0"});
+  m.transitions.push_back({"-", "b", "a", "1"});
+  return m;
+}
+
+TEST(Fsm, StateBookkeeping) {
+  Fsm m = tiny();
+  EXPECT_EQ(m.state_index("a"), 0u);
+  EXPECT_EQ(m.state_index("b"), 1u);
+  EXPECT_EQ(m.state_index("zz"), SIZE_MAX);
+  EXPECT_EQ(m.reset_state, "a");  // first mentioned
+  EXPECT_EQ(m.add_state("a"), 0u);  // idempotent
+  EXPECT_EQ(m.states.size(), 2u);
+}
+
+TEST(Fsm, StateBitsCeilLog2) {
+  Fsm m;
+  m.add_state("only");
+  EXPECT_EQ(m.state_bits(), 1u);
+  m.add_state("s2");
+  EXPECT_EQ(m.state_bits(), 1u);
+  m.add_state("s3");
+  EXPECT_EQ(m.state_bits(), 2u);
+  m.add_state("s4");
+  m.add_state("s5");
+  EXPECT_EQ(m.state_bits(), 3u);
+}
+
+TEST(Fsm, ValidateAcceptsDeterministicMachine) {
+  EXPECT_NO_THROW(tiny().validate());
+}
+
+TEST(Fsm, ValidateRejectsBadWidths) {
+  Fsm m = tiny();
+  m.transitions.push_back({"00", "a", "b", "1"});
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+TEST(Fsm, ValidateRejectsUnknownStates) {
+  Fsm m = tiny();
+  m.transitions.push_back({"1", "a", "ghost", "0"});
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+TEST(Fsm, ValidateRejectsNondeterminism) {
+  Fsm m = tiny();
+  // "1 a b 0" already exists; "- a a 1" overlaps it with another target.
+  m.transitions.push_back({"-", "a", "a", "1"});
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+TEST(Fsm, ValidateAllowsRedundantAgreeingTransitions) {
+  Fsm m = tiny();
+  m.transitions.push_back({"1", "a", "b", "0"});  // exact duplicate
+  EXPECT_NO_THROW(m.validate());
+}
+
+TEST(Fsm, ValidateRejectsBadPatternChars) {
+  Fsm m = tiny();
+  m.transitions.push_back({"x", "a", "b", "0"});
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+TEST(Fsm, ValidateRejectsUnknownResetState) {
+  Fsm m = tiny();
+  m.reset_state = "ghost";
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bddmin::fsm

@@ -1,0 +1,179 @@
+#include "workload/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <set>
+
+#include "bdd/ops.hpp"
+#include "fsm/reach.hpp"
+#include "minimize/sibling.hpp"
+
+namespace bddmin::workload {
+namespace {
+
+using fsm::SymbolicFsm;
+
+struct Built {
+  Manager mgr;
+  SymbolicFsm sym;
+  std::vector<std::uint32_t> st;
+
+  explicit Built(const MachineSpec& spec)
+      : mgr(spec.num_inputs + spec.num_state_bits) {
+    std::vector<std::uint32_t> in(spec.num_inputs);
+    for (unsigned i = 0; i < spec.num_inputs; ++i) in[i] = i;
+    for (unsigned k = 0; k < spec.num_state_bits; ++k) {
+      st.push_back(spec.num_inputs + k);
+    }
+    sym = spec.build(mgr, in, st);
+  }
+
+  /// Evaluate the machine's step function on concrete values.
+  unsigned step(unsigned state, unsigned input) {
+    std::vector<bool> a(mgr.num_vars(), false);
+    for (std::size_t i = 0; i < sym.input_vars.size(); ++i) {
+      a[sym.input_vars[i]] = (input >> i) & 1;
+    }
+    for (std::size_t k = 0; k < st.size(); ++k) a[st[k]] = (state >> k) & 1;
+    unsigned next = 0;
+    for (std::size_t k = 0; k < sym.next_state.size(); ++k) {
+      if (eval(mgr, sym.next_state[k], a)) next |= 1u << k;
+    }
+    return next;
+  }
+};
+
+TEST(Generators, CounterIncrementsModulo2N) {
+  Built rig(make_counter(4));
+  for (unsigned s = 0; s < 16; ++s) {
+    EXPECT_EQ(rig.step(s, 0), s);                  // enable off: hold
+    EXPECT_EQ(rig.step(s, 1), (s + 1) & 0xF);      // enable on: +1
+  }
+}
+
+TEST(Generators, ModCounterWrapsAtModulus) {
+  Built rig(make_mod_counter(10));
+  for (unsigned s = 0; s < 10; ++s) {
+    EXPECT_EQ(rig.step(s, 1), (s + 1) % 10);
+    EXPECT_EQ(rig.step(s, 0), s);
+  }
+}
+
+TEST(Generators, ModCounterUnreachableEncodingsEnableMinimization) {
+  // The reachable care set must let restrict shrink at least one
+  // next-state function of a non-power-of-two counter.
+  using fsm::ImageMethod;
+  const MachineSpec spec = make_mod_counter(10);
+  Manager mgr(1 + 2 * spec.num_state_bits);
+  std::vector<std::uint32_t> in{0};
+  std::vector<std::uint32_t> st;
+  std::vector<std::uint32_t> nx;
+  for (unsigned k = 0; k < spec.num_state_bits; ++k) {
+    st.push_back(1 + 2 * k);
+    nx.push_back(1 + 2 * k + 1);
+  }
+  const fsm::SymbolicFsm sym = spec.build(mgr, in, st);
+  const fsm::ReachResult reach = fsm::reachable_states(mgr, sym, nx);
+  EXPECT_DOUBLE_EQ(sat_count(mgr, reach.reached.edge(), 4), 10.0);
+  std::size_t before = 0;
+  std::size_t after = 0;
+  for (const Edge delta : sym.next_state) {
+    before += count_nodes(mgr, delta);
+    after += count_nodes(
+        mgr, minimize::restrict_dc(mgr, delta, reach.reached.edge()));
+  }
+  EXPECT_LT(after, before);
+}
+
+TEST(Generators, GrayCounterStepsAreSingleBitFlips) {
+  Built rig(make_gray_counter(4));
+  unsigned state = 0;
+  std::set<unsigned> seen;
+  for (int step = 0; step < 16; ++step) {
+    seen.insert(state);
+    const unsigned next = rig.step(state, 1);
+    EXPECT_EQ(std::popcount(state ^ next), 1) << "state " << state;
+    EXPECT_EQ(rig.step(state, 0), state);
+    state = next;
+  }
+  EXPECT_EQ(seen.size(), 16u);  // full gray cycle
+}
+
+TEST(Generators, LfsrShiftsWithFeedback) {
+  Built rig(make_lfsr(4, 0b0011));
+  for (unsigned s = 1; s < 16; ++s) {
+    const unsigned fb = ((s >> 0) ^ (s >> 1)) & 1;
+    const unsigned expect = (s >> 1) | (fb << 3);
+    EXPECT_EQ(rig.step(s, 1), expect);
+    EXPECT_EQ(rig.step(s, 0), s);
+  }
+  EXPECT_EQ(rig.step(0, 1), 0u);  // all-zero fixed point
+}
+
+TEST(Generators, AccumulatorAddsInputWord) {
+  Built rig(make_accumulator(4, 3));
+  for (unsigned s = 0; s < 16; ++s) {
+    for (unsigned w = 0; w < 8; ++w) {
+      EXPECT_EQ(rig.step(s, w), (s + w) & 0xF);
+    }
+  }
+}
+
+TEST(Generators, MultRegisterComputes5XPlusInput) {
+  Built rig(make_mult_register(4, 2));
+  for (unsigned s = 0; s < 16; ++s) {
+    for (unsigned w = 0; w < 4; ++w) {
+      EXPECT_EQ(rig.step(s, w), (5 * s + w) & 0xF);
+    }
+  }
+}
+
+TEST(Generators, MinmaxTracksExtremes) {
+  Built rig(make_minmax(3));
+  // state layout: low 3 bits = min, high 3 bits = max.
+  const auto pack = [](unsigned lo, unsigned hi) { return lo | (hi << 3); };
+  EXPECT_EQ(rig.step(pack(7, 0), 3), pack(3, 3));   // first sample
+  EXPECT_EQ(rig.step(pack(2, 5), 1), pack(1, 5));   // new minimum
+  EXPECT_EQ(rig.step(pack(2, 5), 6), pack(2, 6));   // new maximum
+  EXPECT_EQ(rig.step(pack(2, 5), 4), pack(2, 5));   // inside the band
+}
+
+TEST(Generators, ShiftRegisterShifts) {
+  Built rig(make_shift_register(4));
+  EXPECT_EQ(rig.step(0b0101, 1), 0b1011u);
+  EXPECT_EQ(rig.step(0b1111, 0), 0b1110u);
+}
+
+TEST(Generators, RandomMealyIsDeterministicInTheSeed) {
+  const MachineSpec a = make_random_mealy(7, 2, 2, 5);
+  const MachineSpec b = make_random_mealy(7, 2, 2, 5);
+  const MachineSpec c = make_random_mealy(7, 2, 2, 6);
+  Built ra(a);
+  Built rb(b);
+  Built rc(c);
+  bool differs_from_c = false;
+  for (unsigned s = 0; s < 7; ++s) {
+    for (unsigned w = 0; w < 4; ++w) {
+      EXPECT_EQ(ra.step(s, w), rb.step(s, w));
+      differs_from_c |= ra.step(s, w) != rc.step(s, w);
+    }
+  }
+  EXPECT_TRUE(differs_from_c);
+}
+
+TEST(Generators, SpecsDeclareConsistentShapes) {
+  for (const MachineSpec& spec :
+       {make_counter(3), make_gray_counter(3), make_lfsr(5, 0b101),
+        make_accumulator(4, 2), make_mult_register(4, 2), make_minmax(2),
+        make_shift_register(3), make_random_mealy(4, 1, 1, 1)}) {
+    Built rig(spec);
+    EXPECT_EQ(rig.sym.next_state.size(), spec.num_state_bits) << spec.name;
+    EXPECT_EQ(rig.sym.outputs.size(), spec.num_outputs) << spec.name;
+    EXPECT_NE(rig.sym.initial, kZero) << spec.name;
+    EXPECT_FALSE(spec.name.empty());
+  }
+}
+
+}  // namespace
+}  // namespace bddmin::workload

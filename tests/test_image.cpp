@@ -1,0 +1,168 @@
+#include "fsm/image.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "bdd/ops.hpp"
+#include "workload/generators.hpp"
+
+namespace bddmin::fsm {
+namespace {
+
+/// A 2-bit counter with enable laid out as: input 0, state {1, 3},
+/// next {2, 4}.
+struct CounterRig {
+  Manager mgr{5};
+  SymbolicFsm sym;
+  std::vector<std::uint32_t> next_vars{2, 4};
+
+  CounterRig() {
+    const workload::MachineSpec spec = workload::make_counter(2);
+    sym = spec.build(mgr, std::vector<std::uint32_t>{0},
+                     std::vector<std::uint32_t>{1, 3});
+  }
+
+  Edge state(unsigned index) {
+    return state_code(mgr, sym.state_vars, index);
+  }
+};
+
+TEST(Image, RelationalCounterStep) {
+  CounterRig rig;
+  ImageComputer imager(rig.mgr, rig.sym, rig.next_vars,
+                       ImageMethod::kRelational);
+  // From state 0, one step reaches {0 (enable off), 1 (enable on)}.
+  const Edge img = imager.image(rig.state(0));
+  EXPECT_EQ(img, rig.mgr.or_(rig.state(0), rig.state(1)));
+  // From state 3, wraps to 0.
+  const Edge img3 = imager.image(rig.state(3));
+  EXPECT_EQ(img3, rig.mgr.or_(rig.state(3), rig.state(0)));
+}
+
+TEST(Image, FunctionalCounterStep) {
+  CounterRig rig;
+  ImageComputer imager(rig.mgr, rig.sym, rig.next_vars,
+                       ImageMethod::kFunctional);
+  const Edge img = imager.image(rig.state(1));
+  EXPECT_EQ(img, rig.mgr.or_(rig.state(1), rig.state(2)));
+}
+
+TEST(Image, ClusteredCounterStepWithWideState) {
+  // Wide machine so several clusters actually form.
+  const workload::MachineSpec spec = workload::make_accumulator(8, 4);
+  Manager mgr(4 + 16);
+  std::vector<std::uint32_t> in{0, 1, 2, 3};
+  std::vector<std::uint32_t> st;
+  std::vector<std::uint32_t> next;
+  for (unsigned k = 0; k < 8; ++k) {
+    st.push_back(4 + 2 * k);
+    next.push_back(4 + 2 * k + 1);
+  }
+  const SymbolicFsm sym = spec.build(mgr, in, st);
+  ImageComputer relational(mgr, sym, next, ImageMethod::kRelational);
+  ImageComputer clustered(mgr, sym, next, ImageMethod::kClustered);
+  const Edge s0 = state_code(mgr, st, 0);
+  EXPECT_EQ(clustered.image(s0), relational.image(s0));
+  const Edge some = mgr.or_(state_code(mgr, st, 5), state_code(mgr, st, 250));
+  EXPECT_EQ(clustered.image(some), relational.image(some));
+}
+
+TEST(Image, EmptySetMapsToEmpty) {
+  CounterRig rig;
+  for (const ImageMethod method :
+       {ImageMethod::kRelational, ImageMethod::kClustered,
+        ImageMethod::kFunctional}) {
+    ImageComputer imager(rig.mgr, rig.sym, rig.next_vars, method);
+    EXPECT_EQ(imager.image(kZero), kZero);
+  }
+}
+
+TEST(Image, MethodsAgreeOnRandomMachines) {
+  // Cross-check the Coudert constrain-based range computation against the
+  // relational product on random Mealy machines.
+  for (const std::uint64_t seed : {11ull, 22ull, 33ull}) {
+    const workload::MachineSpec spec = workload::make_random_mealy(6, 2, 1, seed);
+    Manager mgr(2 + 2 * spec.num_state_bits);
+    std::vector<std::uint32_t> in{0, 1};
+    std::vector<std::uint32_t> st;
+    std::vector<std::uint32_t> next;
+    for (unsigned k = 0; k < spec.num_state_bits; ++k) {
+      st.push_back(2 + 2 * k);
+      next.push_back(2 + 2 * k + 1);
+    }
+    const SymbolicFsm sym = spec.build(mgr, in, st);
+    ImageComputer relational(mgr, sym, next, ImageMethod::kRelational);
+    ImageComputer clustered(mgr, sym, next, ImageMethod::kClustered);
+    ImageComputer functional(mgr, sym, next, ImageMethod::kFunctional);
+    std::mt19937_64 rng(seed);
+    for (int round = 0; round < 10; ++round) {
+      // Random state subset.
+      Edge s = kZero;
+      for (unsigned idx = 0; idx < (1u << spec.num_state_bits); ++idx) {
+        if (rng() & 1) s = mgr.or_(s, state_code(mgr, st, idx));
+      }
+      const Edge reference = relational.image(s);
+      EXPECT_EQ(reference, functional.image(s)) << "seed " << seed;
+      EXPECT_EQ(reference, clustered.image(s)) << "seed " << seed;
+    }
+  }
+}
+
+TEST(Image, PreimageIsTheForwardDual) {
+  // s in pre({t})  <=>  t in img({s}), checked state by state.
+  const workload::MachineSpec spec = workload::make_random_mealy(8, 2, 1, 55);
+  Manager mgr(2 + 2 * spec.num_state_bits);
+  std::vector<std::uint32_t> in{0, 1};
+  std::vector<std::uint32_t> st;
+  std::vector<std::uint32_t> next;
+  for (unsigned k = 0; k < spec.num_state_bits; ++k) {
+    st.push_back(2 + 2 * k);
+    next.push_back(2 + 2 * k + 1);
+  }
+  const SymbolicFsm sym = spec.build(mgr, in, st);
+  ImageComputer imager(mgr, sym, next, ImageMethod::kRelational);
+  const unsigned n = 1u << spec.num_state_bits;
+  for (unsigned s = 0; s < n; ++s) {
+    const Edge img = imager.image(state_code(mgr, st, s));
+    for (unsigned t = 0; t < n; ++t) {
+      const Edge pre = imager.preimage(state_code(mgr, st, t));
+      const bool forward = mgr.leq(state_code(mgr, st, t), img);
+      const bool backward = mgr.leq(state_code(mgr, st, s), pre);
+      EXPECT_EQ(forward, backward) << s << " -> " << t;
+    }
+  }
+}
+
+TEST(Image, PreimageOfCounter) {
+  CounterRig rig;
+  ImageComputer imager(rig.mgr, rig.sym, rig.next_vars,
+                       ImageMethod::kRelational);
+  // Predecessors of {2}: {1} (enable on) and {2} (enable off).
+  EXPECT_EQ(imager.preimage(rig.state(2)),
+            rig.mgr.or_(rig.state(1), rig.state(2)));
+  EXPECT_EQ(imager.preimage(kZero), kZero);
+}
+
+TEST(Image, MonotoneInTheStateSet) {
+  CounterRig rig;
+  ImageComputer imager(rig.mgr, rig.sym, rig.next_vars,
+                       ImageMethod::kRelational);
+  const Edge small = rig.state(0);
+  const Edge big = rig.mgr.or_(rig.state(0), rig.state(2));
+  EXPECT_TRUE(rig.mgr.leq(imager.image(small), imager.image(big)));
+}
+
+TEST(Image, SurvivesGarbageCollection) {
+  CounterRig rig;
+  ImageComputer imager(rig.mgr, rig.sym, rig.next_vars,
+                       ImageMethod::kRelational);
+  const Bdd pinned(rig.mgr, rig.state(0));
+  const Edge before = imager.image(pinned.edge());
+  const Bdd keep(rig.mgr, before);
+  rig.mgr.garbage_collect();
+  EXPECT_EQ(imager.image(pinned.edge()), before);
+}
+
+}  // namespace
+}  // namespace bddmin::fsm

@@ -1,0 +1,86 @@
+#include "workload/instances.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bdd/ops.hpp"
+#include "bdd/truth_table.hpp"
+
+namespace bddmin::workload {
+namespace {
+
+TEST(Leaves, TwoVariableExample) {
+  // "d1 01": leaf order (x0 x1) = 00, 01, 10, 11.
+  Manager mgr(2);
+  const minimize::IncSpec spec = from_leaves(mgr, "d1 01");
+  // c: care everywhere except leaf 0.
+  EXPECT_EQ(to_tt(mgr, spec.c, 2), 0b1110u);
+  // f on care points: f(0,1)=1, f(1,0)=0, f(1,1)=1 -> f == x1 under d=0.
+  EXPECT_EQ(spec.f, mgr.var_edge(1));
+}
+
+TEST(Leaves, LeftBranchIsZeroTopVariableIsMsb) {
+  Manager mgr(3);
+  // Only leaf index 4 (binary 100 -> x0=1, x1=0, x2=0) is 1.
+  const minimize::IncSpec spec = from_leaves(mgr, "0000 1000");
+  const Edge expect = mgr.and_(
+      mgr.var_edge(0), mgr.and_(!mgr.var_edge(1), !mgr.var_edge(2)));
+  EXPECT_EQ(spec.f, expect);
+  EXPECT_EQ(spec.c, kOne);
+}
+
+TEST(Leaves, WhitespaceIsIgnored) {
+  Manager mgr(3);
+  const minimize::IncSpec a = from_leaves(mgr, "d1 01 1d 01");
+  const minimize::IncSpec b = from_leaves(mgr, "d1011d01");
+  EXPECT_EQ(a.f, b.f);
+  EXPECT_EQ(a.c, b.c);
+}
+
+TEST(Leaves, RejectsBadInput) {
+  Manager mgr(3);
+  EXPECT_THROW((void)from_leaves(mgr, "01x1"), std::invalid_argument);
+  EXPECT_THROW((void)from_leaves(mgr, "011"), std::invalid_argument);  // not 2^n
+  EXPECT_THROW((void)from_leaves(mgr, ""), std::invalid_argument);
+}
+
+TEST(Leaves, AllDontCare) {
+  Manager mgr(2);
+  const minimize::IncSpec spec = from_leaves(mgr, "dddd");
+  EXPECT_EQ(spec.c, kZero);
+}
+
+TEST(RandomFunction, HitsTargetDensityApproximately) {
+  Manager mgr(10);
+  std::mt19937_64 rng(1);
+  for (const double target : {0.03, 0.3, 0.7, 0.97}) {
+    double total = 0;
+    for (int round = 0; round < 10; ++round) {
+      total += sat_fraction(mgr, random_function(mgr, 10, target, rng));
+    }
+    const double mean = total / 10;
+    EXPECT_GE(mean, target * 0.5) << target;
+    EXPECT_LE(mean, std::min(1.0, target * 2.5 + 0.05)) << target;
+  }
+}
+
+TEST(RandomFunction, ExtremesAreConstants) {
+  Manager mgr(6);
+  std::mt19937_64 rng(2);
+  EXPECT_EQ(random_function(mgr, 6, 0.0, rng), kZero);
+  EXPECT_EQ(random_function(mgr, 6, 1.0, rng), kOne);
+}
+
+TEST(RandomInstance, ProducesNontrivialSpecsDeterministically) {
+  Manager mgr(8);
+  std::mt19937_64 rng_a(7);
+  std::mt19937_64 rng_b(7);
+  const minimize::IncSpec a = random_instance(mgr, 8, 0.4, rng_a);
+  const minimize::IncSpec b = random_instance(mgr, 8, 0.4, rng_b);
+  EXPECT_EQ(a.f, b.f);
+  EXPECT_EQ(a.c, b.c);
+  EXPECT_NE(a.c, kZero);
+  EXPECT_NE(a.c, kOne);
+}
+
+}  // namespace
+}  // namespace bddmin::workload

@@ -1,0 +1,105 @@
+#include "bdd/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "bdd/bdd.hpp"
+#include "bdd/ops.hpp"
+#include "bdd/truth_table.hpp"
+
+namespace bddmin {
+namespace {
+
+TEST(Io, RoundTripsASharedForest) {
+  Manager mgr(6);
+  std::mt19937_64 rng(3);
+  std::vector<Bdd> keep;
+  std::vector<Edge> roots;
+  std::vector<std::uint64_t> tts;
+  for (int k = 0; k < 5; ++k) {
+    const std::uint64_t tt = rng() & tt_mask(6);
+    keep.emplace_back(mgr, from_tt(mgr, tt, 6));
+    roots.push_back(keep.back().edge());
+    tts.push_back(tt);
+  }
+  const std::string text = serialize(mgr, roots);
+  const std::vector<Edge> loaded = deserialize(mgr, text);
+  ASSERT_EQ(loaded.size(), roots.size());
+  for (std::size_t k = 0; k < roots.size(); ++k) {
+    EXPECT_EQ(loaded[k], roots[k]);  // same manager: canonical identity
+  }
+}
+
+TEST(Io, LoadsIntoAFreshManager) {
+  Manager src(5);
+  std::mt19937_64 rng(7);
+  const std::uint64_t tt = rng() & tt_mask(5);
+  const Bdd f(src, from_tt(src, tt, 5));
+  const std::vector<Edge> roots{f.edge()};
+  const std::string text = serialize(src, roots);
+
+  Manager dst(5);
+  const std::vector<Edge> loaded = deserialize(dst, text);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(to_tt(dst, loaded[0], 5), tt);
+}
+
+TEST(Io, LoadsAcrossDifferentVariableOrders) {
+  Manager src(5);
+  std::mt19937_64 rng(11);
+  const std::uint64_t tt = rng() & tt_mask(5);
+  const Bdd f(src, from_tt(src, tt, 5));
+  const std::vector<Edge> roots{f.edge()};
+  const std::string text = serialize(src, roots);
+
+  Manager dst(5);
+  dst.set_order(std::vector<std::uint32_t>{4, 1, 3, 0, 2});
+  const std::vector<Edge> loaded = deserialize(dst, text);
+  EXPECT_EQ(to_tt(dst, loaded[0], 5), tt);
+}
+
+TEST(Io, ConstantsAndComplementRoots) {
+  Manager mgr(3);
+  const Bdd x(mgr, mgr.var_edge(1));
+  const std::vector<Edge> roots{kOne, kZero, !x.edge()};
+  const std::vector<Edge> loaded = deserialize(mgr, serialize(mgr, roots));
+  ASSERT_EQ(loaded.size(), 3u);
+  EXPECT_EQ(loaded[0], kOne);
+  EXPECT_EQ(loaded[1], kZero);
+  EXPECT_EQ(loaded[2], !x.edge());
+}
+
+TEST(Io, RejectsMalformedInput) {
+  Manager mgr(4);
+  EXPECT_THROW((void)deserialize(mgr, "garbage"), std::invalid_argument);
+  EXPECT_THROW((void)deserialize(mgr, "bddmin-bdd v2\nvars 2\n"),
+               std::invalid_argument);
+  // Forward reference.
+  EXPECT_THROW(
+      (void)deserialize(
+          mgr, "bddmin-bdd v1\nvars 2\nnodes 1\n1 0 #2 @0\nroots 1\n#1\n"),
+      std::invalid_argument);
+  // Too many variables for the manager.
+  Manager tiny(1);
+  EXPECT_THROW(
+      (void)deserialize(
+          tiny, "bddmin-bdd v1\nvars 3\nnodes 0\nroots 1\n@1\n"),
+      std::invalid_argument);
+}
+
+TEST(Io, SerializedSizeTracksTheForest) {
+  Manager mgr(6);
+  Edge parity = kZero;
+  for (unsigned v = 0; v < 6; ++v) parity = mgr.xor_(parity, mgr.var_edge(v));
+  const Bdd keep(mgr, parity);
+  const std::vector<Edge> roots{parity};
+  const std::string text = serialize(mgr, roots);
+  // One line per decision node (6 with complement edges) + 5 header/roots.
+  std::size_t lines = 0;
+  for (const char ch : text) lines += ch == '\n';
+  EXPECT_EQ(lines, 6u + 5u);
+}
+
+}  // namespace
+}  // namespace bddmin

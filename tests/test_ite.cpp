@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "bdd/manager.hpp"
+#include "bdd/ops.hpp"
+#include "bdd/truth_table.hpp"
+
+namespace bddmin {
+namespace {
+
+TEST(Ite, TerminalCases) {
+  Manager mgr(3);
+  const Edge x = mgr.var_edge(0);
+  const Edge y = mgr.var_edge(1);
+  EXPECT_EQ(mgr.ite(kOne, x, y), x);
+  EXPECT_EQ(mgr.ite(kZero, x, y), y);
+  EXPECT_EQ(mgr.ite(x, y, y), y);
+  EXPECT_EQ(mgr.ite(x, kOne, kZero), x);
+  EXPECT_EQ(mgr.ite(x, kZero, kOne), !x);
+}
+
+TEST(Ite, BasicConnectives) {
+  Manager mgr(2);
+  const Edge x = mgr.var_edge(0);
+  const Edge y = mgr.var_edge(1);
+  EXPECT_EQ(to_tt(mgr, mgr.and_(x, y), 2), 0b1000u);
+  EXPECT_EQ(to_tt(mgr, mgr.or_(x, y), 2), 0b1110u);
+  EXPECT_EQ(to_tt(mgr, mgr.xor_(x, y), 2), 0b0110u);
+  EXPECT_EQ(to_tt(mgr, mgr.xnor_(x, y), 2), 0b1001u);
+  EXPECT_EQ(to_tt(mgr, mgr.diff(x, y), 2), 0b0010u);
+  EXPECT_EQ(to_tt(mgr, mgr.implies(x, y), 2), 0b1101u);
+}
+
+TEST(Ite, DeMorgan) {
+  Manager mgr(3);
+  const Edge x = mgr.var_edge(0);
+  const Edge y = mgr.var_edge(2);
+  EXPECT_EQ(!mgr.and_(x, y), mgr.or_(!x, !y));
+  EXPECT_EQ(!mgr.or_(x, y), mgr.and_(!x, !y));
+}
+
+TEST(Ite, LeqAndDisjoint) {
+  Manager mgr(2);
+  const Edge x = mgr.var_edge(0);
+  const Edge y = mgr.var_edge(1);
+  EXPECT_TRUE(mgr.leq(mgr.and_(x, y), x));
+  EXPECT_FALSE(mgr.leq(x, mgr.and_(x, y)));
+  EXPECT_TRUE(mgr.leq(kZero, x));
+  EXPECT_TRUE(mgr.leq(x, kOne));
+  EXPECT_TRUE(mgr.disjoint(x, !x));
+  EXPECT_FALSE(mgr.disjoint(x, mgr.or_(x, y)));
+}
+
+/// Exhaustive: every ITE over all 16 two-variable truth tables.
+TEST(Ite, ExhaustiveTwoVariableTriples) {
+  Manager mgr(2);
+  std::vector<Edge> fn(16);
+  for (unsigned tt = 0; tt < 16; ++tt) fn[tt] = from_tt(mgr, tt, 2);
+  for (unsigned a = 0; a < 16; ++a) {
+    for (unsigned b = 0; b < 16; ++b) {
+      for (unsigned c = 0; c < 16; ++c) {
+        const Edge r = mgr.ite(fn[a], fn[b], fn[c]);
+        const std::uint64_t expect = (a & b) | (~a & c);
+        EXPECT_EQ(to_tt(mgr, r, 2), expect & 0xF)
+            << "ite(" << a << "," << b << "," << c << ")";
+      }
+    }
+  }
+}
+
+/// Randomized 5-variable ITE triples checked against truth tables, and
+/// canonicity: rebuilding the result from its truth table gives the same
+/// edge.
+class IteRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IteRandom, MatchesTruthTableAndIsCanonical) {
+  Manager mgr(5);
+  std::mt19937_64 rng(GetParam());
+  for (int round = 0; round < 50; ++round) {
+    const std::uint64_t ta = rng() & tt_mask(5);
+    const std::uint64_t tb = rng() & tt_mask(5);
+    const std::uint64_t tc = rng() & tt_mask(5);
+    const Edge r =
+        mgr.ite(from_tt(mgr, ta, 5), from_tt(mgr, tb, 5), from_tt(mgr, tc, 5));
+    const std::uint64_t expect = ((ta & tb) | (~ta & tc)) & tt_mask(5);
+    EXPECT_EQ(to_tt(mgr, r, 5), expect);
+    EXPECT_EQ(from_tt(mgr, expect, 5), r) << "result not canonical";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IteRandom,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Ite, SelfComplementOperands) {
+  Manager mgr(4);
+  std::mt19937_64 rng(99);
+  for (int round = 0; round < 40; ++round) {
+    const std::uint64_t tf = rng() & tt_mask(4);
+    const std::uint64_t tg = rng() & tt_mask(4);
+    const Edge f = from_tt(mgr, tf, 4);
+    const Edge g = from_tt(mgr, tg, 4);
+    // ite(f, g, !g) == xnor, ite(f, !g, g) == xor, ite(f, f, g) == f | g.
+    EXPECT_EQ(mgr.ite(f, g, !g), mgr.xnor_(f, g));
+    EXPECT_EQ(mgr.ite(f, !g, g), mgr.xor_(f, g));
+    EXPECT_EQ(mgr.ite(f, f, g), mgr.or_(f, g));
+    EXPECT_EQ(mgr.ite(f, g, f), mgr.and_(f, g));
+    EXPECT_EQ(mgr.ite(f, !f, g), mgr.and_(!f, g));
+  }
+}
+
+}  // namespace
+}  // namespace bddmin

@@ -1,0 +1,74 @@
+#include "fsm/kiss.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bddmin::fsm {
+namespace {
+
+constexpr const char* kSample = R"(# a comment
+.i 2
+.o 1
+.r idle
+00 idle idle 0
+1- idle busy 1   # trailing comment
+-- busy idle 0
+.e
+trailing garbage after .e is ignored
+)";
+
+TEST(Kiss, ParsesDirectivesAndTransitions) {
+  const Fsm m = parse_kiss2(kSample, "sample");
+  EXPECT_EQ(m.name, "sample");
+  EXPECT_EQ(m.num_inputs, 2u);
+  EXPECT_EQ(m.num_outputs, 1u);
+  EXPECT_EQ(m.reset_state, "idle");
+  ASSERT_EQ(m.transitions.size(), 3u);
+  EXPECT_EQ(m.transitions[1].input, "1-");
+  EXPECT_EQ(m.transitions[1].to, "busy");
+  EXPECT_EQ(m.states, (std::vector<std::string>{"idle", "busy"}));
+}
+
+TEST(Kiss, ResetDefaultsToFirstMentionedState) {
+  const Fsm m = parse_kiss2(".i 1\n.o 1\n0 s1 s0 0\n1 s1 s1 1\n.e\n");
+  EXPECT_EQ(m.reset_state, "s1");
+}
+
+TEST(Kiss, DeclaredCountsAreIgnoredInFavourOfBody) {
+  const Fsm m =
+      parse_kiss2(".i 1\n.o 1\n.p 999\n.s 999\n0 a a 0\n1 a a 1\n.e\n");
+  EXPECT_EQ(m.states.size(), 1u);
+  EXPECT_EQ(m.transitions.size(), 2u);
+}
+
+TEST(Kiss, RejectsMalformedTransition) {
+  EXPECT_THROW(parse_kiss2(".i 1\n.o 1\n0 a\n.e\n"), std::invalid_argument);
+}
+
+TEST(Kiss, RejectsUnknownDirective) {
+  EXPECT_THROW(parse_kiss2(".i 1\n.o 1\n.frobnicate 3\n.e\n"),
+               std::invalid_argument);
+}
+
+TEST(Kiss, RejectsNondeterministicBody) {
+  EXPECT_THROW(parse_kiss2(".i 1\n.o 1\n- a b 0\n1 a a 0\n.e\n"),
+               std::invalid_argument);
+}
+
+TEST(Kiss, RoundTripThroughWriter) {
+  const Fsm m = parse_kiss2(kSample, "sample");
+  const Fsm again = parse_kiss2(to_kiss2(m), "sample");
+  EXPECT_EQ(again.num_inputs, m.num_inputs);
+  EXPECT_EQ(again.num_outputs, m.num_outputs);
+  EXPECT_EQ(again.states, m.states);
+  EXPECT_EQ(again.reset_state, m.reset_state);
+  ASSERT_EQ(again.transitions.size(), m.transitions.size());
+  for (std::size_t i = 0; i < m.transitions.size(); ++i) {
+    EXPECT_EQ(again.transitions[i].input, m.transitions[i].input);
+    EXPECT_EQ(again.transitions[i].from, m.transitions[i].from);
+    EXPECT_EQ(again.transitions[i].to, m.transitions[i].to);
+    EXPECT_EQ(again.transitions[i].output, m.transitions[i].output);
+  }
+}
+
+}  // namespace
+}  // namespace bddmin::fsm

@@ -1,0 +1,206 @@
+#include "minimize/matching.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "bdd/truth_table.hpp"
+
+namespace bddmin::minimize {
+namespace {
+
+/// Random incompletely specified functions used for relation-property
+/// checks (Table 1 of the paper).
+class MatchingFixture : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  Manager mgr{4};
+  std::mt19937_64 rng{GetParam()};
+
+  IncSpec random_spec() {
+    return {from_tt(mgr, rng() & tt_mask(4), 4),
+            from_tt(mgr, rng() & tt_mask(4), 4)};
+  }
+};
+
+TEST_P(MatchingFixture, OsdmMatchesIffCareEmpty) {
+  for (int round = 0; round < 40; ++round) {
+    const IncSpec a = random_spec();
+    const IncSpec b = random_spec();
+    EXPECT_EQ(matches(mgr, Criterion::kOsdm, a, b), a.c == kZero);
+  }
+}
+
+TEST_P(MatchingFixture, StrengthHierarchyOsdmOsmTsm) {
+  for (int round = 0; round < 80; ++round) {
+    const IncSpec a = random_spec();
+    const IncSpec b = random_spec();
+    if (matches(mgr, Criterion::kOsdm, a, b)) {
+      EXPECT_TRUE(matches(mgr, Criterion::kOsm, a, b));
+    }
+    if (matches(mgr, Criterion::kOsm, a, b)) {
+      EXPECT_TRUE(matches(mgr, Criterion::kTsm, a, b));
+    }
+  }
+}
+
+// Table 1 row "osdm": not reflexive (unless c == 0), not symmetric,
+// transitive.
+TEST_P(MatchingFixture, Table1OsdmProperties) {
+  for (int round = 0; round < 60; ++round) {
+    const IncSpec a = random_spec();
+    const IncSpec b = random_spec();
+    const IncSpec c = random_spec();
+    if (a.c != kZero) {
+      EXPECT_FALSE(matches(mgr, Criterion::kOsdm, a, a));
+    }
+    if (matches(mgr, Criterion::kOsdm, a, b) &&
+        matches(mgr, Criterion::kOsdm, b, c)) {
+      EXPECT_TRUE(matches(mgr, Criterion::kOsdm, a, c));
+    }
+  }
+}
+
+// Table 1 row "osm": reflexive, not symmetric, transitive.
+TEST_P(MatchingFixture, Table1OsmProperties) {
+  for (int round = 0; round < 60; ++round) {
+    const IncSpec a = random_spec();
+    const IncSpec b = random_spec();
+    const IncSpec c = random_spec();
+    EXPECT_TRUE(matches(mgr, Criterion::kOsm, a, a));
+    if (matches(mgr, Criterion::kOsm, a, b) &&
+        matches(mgr, Criterion::kOsm, b, c)) {
+      EXPECT_TRUE(matches(mgr, Criterion::kOsm, a, c));
+    }
+  }
+}
+
+// Table 1 row "tsm": reflexive, symmetric, NOT transitive.
+TEST_P(MatchingFixture, Table1TsmProperties) {
+  for (int round = 0; round < 60; ++round) {
+    const IncSpec a = random_spec();
+    const IncSpec b = random_spec();
+    EXPECT_TRUE(matches(mgr, Criterion::kTsm, a, a));
+    EXPECT_EQ(matches(mgr, Criterion::kTsm, a, b),
+              matches(mgr, Criterion::kTsm, b, a));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatchingFixture, ::testing::Values(1, 2, 3, 4));
+
+TEST(Matching, OsdmAndOsmAreNotSymmetric) {
+  Manager mgr(2);
+  const Edge x = mgr.var_edge(0);
+  const IncSpec free{x, kZero};
+  const IncSpec bound{!x, kOne};
+  EXPECT_TRUE(matches(mgr, Criterion::kOsdm, free, bound));
+  EXPECT_FALSE(matches(mgr, Criterion::kOsdm, bound, free));
+  EXPECT_TRUE(matches(mgr, Criterion::kOsm, free, bound));
+  EXPECT_FALSE(matches(mgr, Criterion::kOsm, bound, free));
+}
+
+TEST(Matching, TsmIsNotTransitiveCounterexample) {
+  // [0, !x], [anything, 0], [1, !x]: both outer functions tsm-match the
+  // middle all-DC one, but 0 and 1 disagree on the shared care set !x.
+  Manager mgr(2);
+  const Edge x = mgr.var_edge(0);
+  const IncSpec a{kZero, !x};
+  const IncSpec b{kZero, kZero};
+  const IncSpec c{kOne, !x};
+  EXPECT_TRUE(matches(mgr, Criterion::kTsm, a, b));
+  EXPECT_TRUE(matches(mgr, Criterion::kTsm, b, c));
+  EXPECT_FALSE(matches(mgr, Criterion::kTsm, a, c));
+}
+
+TEST(Matching, MatchResultIsCommonICover) {
+  Manager mgr(4);
+  std::mt19937_64 rng(9);
+  for (int round = 0; round < 200; ++round) {
+    const IncSpec a{from_tt(mgr, rng() & tt_mask(4), 4),
+                    from_tt(mgr, rng() & tt_mask(4), 4)};
+    const IncSpec b{from_tt(mgr, rng() & tt_mask(4), 4),
+                    from_tt(mgr, rng() & tt_mask(4), 4)};
+    for (const Criterion crit :
+         {Criterion::kOsdm, Criterion::kOsm, Criterion::kTsm}) {
+      if (!matches(mgr, crit, a, b)) continue;
+      const IncSpec m = match_result(mgr, crit, a, b);
+      EXPECT_TRUE(is_icover(mgr, m, a)) << to_string(crit);
+      EXPECT_TRUE(is_icover(mgr, m, b)) << to_string(crit);
+    }
+  }
+}
+
+TEST(Matching, MatchResultKeepsMaximalFreedomForOneSided) {
+  // osm keeps the second function untouched: its entire DC set remains.
+  Manager mgr(3);
+  const Edge x0 = mgr.var_edge(0);
+  const Edge x1 = mgr.var_edge(1);
+  const IncSpec a{x0, mgr.and_(x1, x0)};
+  const IncSpec b{x0, x1};
+  ASSERT_TRUE(matches(mgr, Criterion::kOsm, a, b));
+  const IncSpec m = match_result(mgr, Criterion::kOsm, a, b);
+  EXPECT_EQ(m.f, b.f);
+  EXPECT_EQ(m.c, b.c);
+}
+
+TEST(Matching, TsmResultCareIsUnionAndAgreesOnBothSides) {
+  Manager mgr(3);
+  const Edge x0 = mgr.var_edge(0);
+  const Edge x1 = mgr.var_edge(1);
+  const Edge x2 = mgr.var_edge(2);
+  const IncSpec a{x0, x1};
+  const IncSpec b{x0, x2};
+  ASSERT_TRUE(matches(mgr, Criterion::kTsm, a, b));
+  const IncSpec m = match_result(mgr, Criterion::kTsm, a, b);
+  EXPECT_EQ(m.c, mgr.or_(x1, x2));
+  EXPECT_EQ(mgr.and_(mgr.xor_(m.f, x0), m.c), kZero);
+}
+
+TEST(Matching, SiblingMatchTriesBothDirectionsForOneSided) {
+  Manager mgr(3);
+  const Edge x1 = mgr.var_edge(1);
+  // then side fully DC, else side constrained: match must be found with
+  // the i-cover being the else side.
+  const IncSpec then_spec{kOne, kZero};
+  const IncSpec else_spec{x1, kOne};
+  const auto m = sibling_match(mgr, Criterion::kOsdm, false, then_spec, else_spec);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->f, x1);
+  EXPECT_EQ(m->c, kOne);
+  // And the mirrored arrangement.
+  const auto m2 = sibling_match(mgr, Criterion::kOsdm, false, else_spec, then_spec);
+  ASSERT_TRUE(m2.has_value());
+  EXPECT_EQ(m2->f, x1);
+}
+
+TEST(Matching, SiblingMatchComplement) {
+  Manager mgr(3);
+  const Edge x1 = mgr.var_edge(1);
+  // then = x1, else = !x1 on full care: only a complement match works.
+  const IncSpec then_spec{x1, kOne};
+  const IncSpec else_spec{!x1, kOne};
+  EXPECT_FALSE(
+      sibling_match(mgr, Criterion::kTsm, false, then_spec, else_spec));
+  const auto m = sibling_match(mgr, Criterion::kTsm, true, then_spec, else_spec);
+  ASSERT_TRUE(m.has_value());
+  // A cover g of m gives then = g and else = !g: here g must equal x1.
+  EXPECT_EQ(m->f, x1);
+  EXPECT_EQ(m->c, kOne);
+}
+
+TEST(Matching, SiblingMatchFailsWhenCareValuesConflict) {
+  Manager mgr(3);
+  const IncSpec a{kOne, kOne};
+  const IncSpec b{kZero, kOne};
+  EXPECT_FALSE(sibling_match(mgr, Criterion::kOsdm, false, a, b));
+  EXPECT_FALSE(sibling_match(mgr, Criterion::kOsm, false, a, b));
+  EXPECT_FALSE(sibling_match(mgr, Criterion::kTsm, false, a, b));
+}
+
+TEST(Matching, ToStringNames) {
+  EXPECT_EQ(to_string(Criterion::kOsdm), "osdm");
+  EXPECT_EQ(to_string(Criterion::kOsm), "osm");
+  EXPECT_EQ(to_string(Criterion::kTsm), "tsm");
+}
+
+}  // namespace
+}  // namespace bddmin::minimize

@@ -1,0 +1,239 @@
+#include "bdd/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "bdd/truth_table.hpp"
+
+namespace bddmin {
+namespace {
+
+class OpsFixture : public ::testing::Test {
+ protected:
+  Manager mgr{6};
+  std::mt19937_64 rng{2024};
+
+  Edge random_fn(unsigned n) { return from_tt(mgr, rng() & tt_mask(n), n); }
+};
+
+TEST_F(OpsFixture, CofactorAgainstTruthTable) {
+  for (int round = 0; round < 30; ++round) {
+    const std::uint64_t tt = rng() & tt_mask(4);
+    const Edge f = from_tt(mgr, tt, 4);
+    for (unsigned v = 0; v < 4; ++v) {
+      for (const bool value : {false, true}) {
+        const Edge cf = cofactor(mgr, f, v, value);
+        std::vector<bool> assignment(6, false);
+        for (unsigned m = 0; m < 16; ++m) {
+          for (unsigned k = 0; k < 4; ++k) assignment[k] = (m >> k) & 1;
+          assignment[v] = value;
+          unsigned mm = m;
+          if (value) mm |= 1u << v; else mm &= ~(1u << v);
+          EXPECT_EQ(eval(mgr, cf, assignment), ((tt >> mm) & 1) != 0);
+        }
+        EXPECT_FALSE(depends_on(mgr, cf, v));
+      }
+    }
+  }
+}
+
+TEST_F(OpsFixture, CofactorCubeMultipleLiterals) {
+  const Edge x0 = mgr.var_edge(0);
+  const Edge x2 = mgr.var_edge(2);
+  const Edge f = mgr.ite(x0, x2, mgr.var_edge(1));
+  const Edge cube = mgr.and_(x0, !x2);  // x0=1, x2=0
+  EXPECT_EQ(cofactor_cube(mgr, f, cube), kZero);
+}
+
+TEST_F(OpsFixture, ExistsIsDisjunctionOfCofactors) {
+  for (int round = 0; round < 30; ++round) {
+    const Edge f = random_fn(5);
+    for (unsigned v = 0; v < 5; ++v) {
+      const Edge q = exists(mgr, f, mgr.var_edge(v));
+      const Edge expect =
+          mgr.or_(cofactor(mgr, f, v, true), cofactor(mgr, f, v, false));
+      EXPECT_EQ(q, expect);
+    }
+  }
+}
+
+TEST_F(OpsFixture, ForallIsConjunctionOfCofactors) {
+  for (int round = 0; round < 30; ++round) {
+    const Edge f = random_fn(5);
+    for (unsigned v = 0; v < 5; ++v) {
+      const Edge q = forall(mgr, f, mgr.var_edge(v));
+      const Edge expect =
+          mgr.and_(cofactor(mgr, f, v, true), cofactor(mgr, f, v, false));
+      EXPECT_EQ(q, expect);
+    }
+  }
+}
+
+TEST_F(OpsFixture, QuantifyMultipleVariables) {
+  for (int round = 0; round < 20; ++round) {
+    const Edge f = random_fn(5);
+    const std::vector<std::uint32_t> vars{1, 3};
+    const Edge cube = positive_cube(mgr, vars);
+    Edge expect = f;
+    expect = mgr.or_(cofactor(mgr, expect, 1, true), cofactor(mgr, expect, 1, false));
+    expect = mgr.or_(cofactor(mgr, expect, 3, true), cofactor(mgr, expect, 3, false));
+    EXPECT_EQ(exists(mgr, f, cube), expect);
+  }
+}
+
+TEST_F(OpsFixture, AndExistsEqualsComposedOps) {
+  for (int round = 0; round < 30; ++round) {
+    const Edge f = random_fn(5);
+    const Edge g = random_fn(5);
+    const std::vector<std::uint32_t> vars{0, 2, 4};
+    const Edge cube = positive_cube(mgr, vars);
+    EXPECT_EQ(and_exists(mgr, f, g, cube), exists(mgr, mgr.and_(f, g), cube));
+  }
+}
+
+TEST_F(OpsFixture, ComposeAgainstShannonExpansion) {
+  for (int round = 0; round < 30; ++round) {
+    const Edge f = random_fn(5);
+    const Edge g = random_fn(5);
+    for (unsigned v = 0; v < 5; ++v) {
+      // f[v := g] == g·f|v=1 + !g·f|v=0
+      const Edge expect = mgr.ite(g, cofactor(mgr, f, v, true),
+                                  cofactor(mgr, f, v, false));
+      EXPECT_EQ(compose(mgr, f, v, g), expect);
+    }
+  }
+}
+
+TEST_F(OpsFixture, VectorComposeSimultaneousSubstitution) {
+  // Swap x0 and x1 in x0·!x1: sequential compose cannot do this without a
+  // temporary; vector_compose must.
+  const Edge x0 = mgr.var_edge(0);
+  const Edge x1 = mgr.var_edge(1);
+  const Edge f = mgr.and_(x0, !x1);
+  const std::vector<Edge> map{x1, x0};
+  EXPECT_EQ(vector_compose(mgr, f, map), mgr.and_(x1, !x0));
+}
+
+TEST_F(OpsFixture, SupportListsExactlyTheEssentialVariables) {
+  const Edge x0 = mgr.var_edge(0);
+  const Edge x3 = mgr.var_edge(3);
+  const Edge f = mgr.xor_(x0, x3);
+  EXPECT_EQ(support(mgr, f), (std::vector<std::uint32_t>{0, 3}));
+  EXPECT_TRUE(support(mgr, kOne).empty());
+  // x1 XOR x1 cancels; support must not report it.
+  const Edge g = mgr.ite(mgr.var_edge(1), f, f);
+  EXPECT_EQ(support(mgr, g), (std::vector<std::uint32_t>{0, 3}));
+}
+
+TEST_F(OpsFixture, SupportCubeIsPositiveConjunction) {
+  const Edge f = mgr.ite(mgr.var_edge(1), mgr.var_edge(3), mgr.var_edge(5));
+  const std::vector<std::uint32_t> expect{1, 3, 5};
+  EXPECT_EQ(support_cube(mgr, f), positive_cube(mgr, expect));
+  EXPECT_EQ(support_cube(mgr, kOne), kOne);
+  EXPECT_TRUE(is_cube(mgr, support_cube(mgr, f)));
+}
+
+TEST_F(OpsFixture, QuantifyingOverEmptyCubeIsIdentity) {
+  const Edge f = random_fn(5);
+  EXPECT_EQ(exists(mgr, f, kOne), f);
+  EXPECT_EQ(forall(mgr, f, kOne), f);
+  EXPECT_EQ(and_exists(mgr, f, kOne, kOne), f);
+}
+
+TEST_F(OpsFixture, QuantifyingEverythingYieldsAConstant) {
+  for (int round = 0; round < 10; ++round) {
+    const Edge f = random_fn(6);
+    const std::vector<std::uint32_t> all{0, 1, 2, 3, 4, 5};
+    const Edge cube = positive_cube(mgr, all);
+    EXPECT_EQ(exists(mgr, f, cube), f == kZero ? kZero : kOne);
+    EXPECT_EQ(forall(mgr, f, cube), f == kOne ? kOne : kZero);
+  }
+}
+
+TEST_F(OpsFixture, DependsOnMatchesSupport) {
+  for (int round = 0; round < 20; ++round) {
+    const Edge f = random_fn(6);
+    const std::vector<std::uint32_t> sup = support(mgr, f);
+    for (unsigned v = 0; v < 6; ++v) {
+      const bool in_support =
+          std::find(sup.begin(), sup.end(), v) != sup.end();
+      EXPECT_EQ(depends_on(mgr, f, v), in_support);
+    }
+  }
+}
+
+TEST_F(OpsFixture, SatCountMatchesPopcount) {
+  for (int round = 0; round < 40; ++round) {
+    const std::uint64_t tt = rng() & tt_mask(6);
+    const Edge f = from_tt(mgr, tt, 6);
+    EXPECT_DOUBLE_EQ(sat_count(mgr, f, 6),
+                     static_cast<double>(std::popcount(tt)));
+  }
+  EXPECT_DOUBLE_EQ(sat_count(mgr, kOne, 6), 64.0);
+  EXPECT_DOUBLE_EQ(sat_count(mgr, kZero, 6), 0.0);
+}
+
+TEST_F(OpsFixture, SatFractionIsScaleFree) {
+  const Edge x0 = mgr.var_edge(0);
+  EXPECT_DOUBLE_EQ(sat_fraction(mgr, x0), 0.5);
+  EXPECT_DOUBLE_EQ(sat_fraction(mgr, mgr.and_(x0, mgr.var_edge(5))), 0.25);
+  EXPECT_DOUBLE_EQ(sat_fraction(mgr, kOne), 1.0);
+}
+
+TEST_F(OpsFixture, CountNodesIncludesTerminal) {
+  EXPECT_EQ(count_nodes(mgr, kOne), 1u);
+  EXPECT_EQ(count_nodes(mgr, kZero), 1u);
+  EXPECT_EQ(count_nodes(mgr, mgr.var_edge(0)), 2u);
+  const Edge f = mgr.xor_(mgr.var_edge(0), mgr.var_edge(1));
+  EXPECT_EQ(count_nodes(mgr, f), 3u);  // x0 node, one shared x1 node, terminal
+}
+
+TEST_F(OpsFixture, CountNodesForestSharesCommonSubgraphs) {
+  const Edge x0 = mgr.var_edge(0);
+  const Edge x1 = mgr.var_edge(1);
+  const std::vector<Edge> roots{mgr.and_(x0, x1), mgr.or_(x0, x1)};
+  // and: node(x0)-node(x1); or: node(x0)-node(x1) shared complement. With
+  // complement edges both functions share the x1 node.
+  EXPECT_LE(count_nodes(mgr, roots),
+            count_nodes(mgr, roots[0]) + count_nodes(mgr, roots[1]) - 1);
+}
+
+TEST_F(OpsFixture, CountNodesBelowLevel) {
+  // Chain x0·x1·x2: nodes at vars 0,1,2 plus terminal.
+  const Edge f =
+      mgr.and_(mgr.var_edge(0), mgr.and_(mgr.var_edge(1), mgr.var_edge(2)));
+  EXPECT_EQ(count_nodes(mgr, f), 4u);
+  EXPECT_EQ(count_nodes_below(mgr, f, 0), 3u);  // x1, x2, terminal
+  EXPECT_EQ(count_nodes_below(mgr, f, 1), 2u);
+  EXPECT_EQ(count_nodes_below(mgr, f, 2), 1u);
+}
+
+TEST_F(OpsFixture, CubeOfBuildsConjunction) {
+  const std::vector<std::uint32_t> vars{4, 1};
+  const std::vector<bool> phase{true, false};
+  const Edge cube = cube_of(mgr, vars, phase);
+  EXPECT_EQ(cube, mgr.and_(mgr.var_edge(4), !mgr.var_edge(1)));
+  EXPECT_TRUE(is_cube(mgr, cube));
+}
+
+TEST_F(OpsFixture, IsCubeRecognizesCubesOnly) {
+  EXPECT_TRUE(is_cube(mgr, kOne));
+  EXPECT_FALSE(is_cube(mgr, kZero));
+  EXPECT_TRUE(is_cube(mgr, mgr.var_edge(2)));
+  EXPECT_TRUE(is_cube(mgr, !mgr.var_edge(2)));
+  EXPECT_FALSE(is_cube(mgr, mgr.xor_(mgr.var_edge(0), mgr.var_edge(1))));
+  EXPECT_FALSE(is_cube(mgr, mgr.or_(mgr.var_edge(0), mgr.var_edge(1))));
+  EXPECT_TRUE(is_cube(mgr, mgr.and_(mgr.var_edge(0), !mgr.var_edge(3))));
+}
+
+TEST_F(OpsFixture, EvalWalksAssignment) {
+  const Edge f = mgr.ite(mgr.var_edge(0), mgr.var_edge(1), !mgr.var_edge(2));
+  EXPECT_TRUE(eval(mgr, f, {true, true, false, false, false, false}));
+  EXPECT_FALSE(eval(mgr, f, {true, false, false, false, false, false}));
+  EXPECT_TRUE(eval(mgr, f, {false, false, false, false, false, false}));
+  EXPECT_FALSE(eval(mgr, f, {false, false, true, false, false, false}));
+}
+
+}  // namespace
+}  // namespace bddmin

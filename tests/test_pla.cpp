@@ -1,0 +1,155 @@
+#include "pla/pla.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bdd/ops.hpp"
+#include "bdd/truth_table.hpp"
+
+namespace bddmin::pla {
+namespace {
+
+const std::vector<std::uint32_t> kVars4{0, 1, 2, 3};
+
+TEST(Pla, ParsesDirectivesAndCubes) {
+  const Pla p = parse_pla(".i 2\n.o 1\n.type fd\n# comment\n1- 1\n01 -\n.e\n");
+  EXPECT_EQ(p.num_inputs, 2u);
+  EXPECT_EQ(p.num_outputs, 1u);
+  EXPECT_EQ(p.type, "fd");
+  ASSERT_EQ(p.cubes.size(), 2u);
+  EXPECT_EQ(p.cubes[0].inputs, "1-");
+  EXPECT_EQ(p.cubes[1].outputs, "-");
+}
+
+TEST(Pla, RejectsBadBodies) {
+  EXPECT_THROW((void)parse_pla(".i 2\n.o 1\n111 1\n.e\n"), std::invalid_argument);
+  EXPECT_THROW((void)parse_pla(".i 2\n.o 1\n1x 1\n.e\n"), std::invalid_argument);
+  EXPECT_THROW((void)parse_pla(".i 2\n.o 1\n.type zz\n11 1\n.e\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_pla(".i 2\n.o 1\n.bogus\n.e\n"), std::invalid_argument);
+  EXPECT_THROW((void)parse_pla(".i 2\n.o 1\n.ilb a\n11 1\n.e\n"),
+               std::invalid_argument);
+}
+
+TEST(Pla, RoundTripsThroughWriter) {
+  const Pla p = builtin_pla("sevenseg");
+  const Pla again = parse_pla(to_pla(p), p.name);
+  EXPECT_EQ(again.num_inputs, p.num_inputs);
+  EXPECT_EQ(again.num_outputs, p.num_outputs);
+  EXPECT_EQ(again.type, p.type);
+  EXPECT_EQ(again.input_labels, p.input_labels);
+  EXPECT_EQ(again.output_labels, p.output_labels);
+  ASSERT_EQ(again.cubes.size(), p.cubes.size());
+  for (std::size_t i = 0; i < p.cubes.size(); ++i) {
+    EXPECT_EQ(again.cubes[i].inputs, p.cubes[i].inputs);
+    EXPECT_EQ(again.cubes[i].outputs, p.cubes[i].outputs);
+  }
+}
+
+TEST(Pla, TypeFIsFullySpecified) {
+  Manager mgr(4);
+  const Pla p = builtin_pla("add2");
+  const auto specs = output_functions(mgr, p, kVars4);
+  ASSERT_EQ(specs.size(), 3u);
+  for (const auto& spec : specs) EXPECT_EQ(spec.c, kOne);
+  // Check adder semantics on a few rows: inputs are a1 a0 b1 b0 at vars
+  // 0..3 (leftmost char = var 0).
+  std::vector<bool> a(4);
+  const auto value = [&](unsigned lhs, unsigned rhs, unsigned bit) {
+    a[0] = (lhs >> 1) & 1;
+    a[1] = lhs & 1;
+    a[2] = (rhs >> 1) & 1;
+    a[3] = rhs & 1;
+    return eval(mgr, specs[bit].f, a);
+  };
+  for (unsigned lhs = 0; lhs < 4; ++lhs) {
+    for (unsigned rhs = 0; rhs < 4; ++rhs) {
+      const unsigned sum = lhs + rhs;
+      EXPECT_EQ(value(lhs, rhs, 0), ((sum >> 2) & 1) != 0);
+      EXPECT_EQ(value(lhs, rhs, 1), ((sum >> 1) & 1) != 0);
+      EXPECT_EQ(value(lhs, rhs, 2), (sum & 1) != 0);
+    }
+  }
+}
+
+TEST(Pla, TypeFdDontCares) {
+  Manager mgr(4);
+  const Pla p = builtin_pla("sevenseg");
+  const auto specs = output_functions(mgr, p, kVars4);
+  ASSERT_EQ(specs.size(), 7u);
+  // Digits 10-15 are don't cares for every segment; 0-9 are cared for.
+  std::vector<bool> a(4);
+  for (unsigned d = 0; d < 16; ++d) {
+    a[0] = (d >> 3) & 1;  // leftmost PLA column is b3
+    a[1] = (d >> 2) & 1;
+    a[2] = (d >> 1) & 1;
+    a[3] = d & 1;
+    for (const auto& spec : specs) {
+      EXPECT_EQ(eval(mgr, spec.c, a), d < 10) << "digit " << d;
+    }
+  }
+  // Segment g (index 6) is off for 0, 1 and 7, on for 2.
+  const auto seg_g = [&](unsigned d) {
+    a[0] = (d >> 3) & 1;
+    a[1] = (d >> 2) & 1;
+    a[2] = (d >> 1) & 1;
+    a[3] = d & 1;
+    return eval(mgr, specs[6].f, a);
+  };
+  EXPECT_FALSE(seg_g(0));
+  EXPECT_FALSE(seg_g(1));
+  EXPECT_TRUE(seg_g(2));
+  EXPECT_FALSE(seg_g(7));
+  EXPECT_TRUE(seg_g(8));
+}
+
+TEST(Pla, TypeFrUncoveredIsDontCare) {
+  Manager mgr(8);
+  const Pla p = builtin_pla("prio8_like");
+  const std::vector<std::uint32_t> vars{0, 1, 2, 3, 4, 5, 6, 7};
+  const auto specs = output_functions(mgr, p, vars);
+  ASSERT_EQ(specs.size(), 4u);
+  // All-zero request vector is uncovered => care set excludes it.
+  std::vector<bool> a(8, false);
+  for (const auto& spec : specs) EXPECT_FALSE(eval(mgr, spec.c, a));
+  // Request on line 2 only: index = 2, valid = 1.
+  a[2] = true;
+  EXPECT_TRUE(eval(mgr, specs[0].c, a));
+  EXPECT_TRUE(eval(mgr, specs[0].f, a));   // v
+  EXPECT_FALSE(eval(mgr, specs[1].f, a));  // i2
+  EXPECT_TRUE(eval(mgr, specs[2].f, a));   // i1
+  EXPECT_FALSE(eval(mgr, specs[3].f, a));  // i0
+  // Priority: line 0 beats line 2.
+  a[0] = true;
+  EXPECT_FALSE(eval(mgr, specs[2].f, a));  // i1 = 0 for index 0
+}
+
+TEST(Pla, OnsetWinsOverOverlappingDcRowsInFd) {
+  Manager mgr(2);
+  // Minterm 11 appears both as onset and as DC: onset must win.
+  const Pla p = parse_pla(".i 2\n.o 1\n.type fd\n11 1\n1- -\n.e\n");
+  const std::vector<std::uint32_t> vars{0, 1};
+  const minimize::IncSpec spec = output_function(mgr, p, 0, vars);
+  std::vector<bool> a{true, true};
+  EXPECT_TRUE(eval(mgr, spec.c, a));
+  EXPECT_TRUE(eval(mgr, spec.f, a));
+  a[1] = false;  // minterm 10: DC only
+  EXPECT_FALSE(eval(mgr, spec.c, a));
+}
+
+TEST(Pla, BuiltinSourcesAllParse) {
+  for (const auto& [name, text] : builtin_pla_sources()) {
+    EXPECT_NO_THROW((void)parse_pla(text, name)) << name;
+  }
+  EXPECT_THROW((void)builtin_pla("missing"), std::out_of_range);
+}
+
+TEST(Pla, BadLayoutArgumentsThrow) {
+  Manager mgr(4);
+  const Pla p = builtin_pla("add2");
+  const std::vector<std::uint32_t> too_few{0, 1};
+  EXPECT_THROW((void)output_function(mgr, p, 0, too_few), std::invalid_argument);
+  EXPECT_THROW((void)output_function(mgr, p, 99, kVars4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bddmin::pla

@@ -1,0 +1,160 @@
+#include "fsm/reach.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bdd/ops.hpp"
+#include "minimize/incspec.hpp"
+#include "minimize/sibling.hpp"
+#include "workload/generators.hpp"
+
+namespace bddmin::fsm {
+namespace {
+
+struct Rig {
+  Manager mgr;
+  SymbolicFsm sym;
+  std::vector<std::uint32_t> next_vars;
+
+  explicit Rig(const workload::MachineSpec& spec, unsigned extra_inputs = 0)
+      : mgr(spec.num_inputs + extra_inputs + 2 * spec.num_state_bits) {
+    std::vector<std::uint32_t> in(spec.num_inputs);
+    for (unsigned i = 0; i < spec.num_inputs; ++i) in[i] = i;
+    std::vector<std::uint32_t> st;
+    for (unsigned k = 0; k < spec.num_state_bits; ++k) {
+      st.push_back(spec.num_inputs + 2 * k);
+      next_vars.push_back(spec.num_inputs + 2 * k + 1);
+    }
+    sym = spec.build(mgr, in, st);
+  }
+};
+
+TEST(Reach, CounterReachesAllStates) {
+  Rig rig(workload::make_counter(4));
+  const ReachResult result = reachable_states(rig.mgr, rig.sym, rig.next_vars);
+  EXPECT_EQ(result.reached.edge(), kOne);  // over state vars: everything
+  // 16 states entered one per step (enable gates progress): 16 frontiers.
+  EXPECT_EQ(result.iterations, 16u);
+}
+
+TEST(Reach, LfsrSkipsTheZeroState) {
+  Rig rig(workload::make_lfsr(4, 0b0011));  // x^4 + x + 1, maximal period
+  const ReachResult result = reachable_states(rig.mgr, rig.sym, rig.next_vars);
+  const Edge zero_state = state_code(rig.mgr, rig.sym.state_vars, 0);
+  EXPECT_TRUE(rig.mgr.disjoint(result.reached.edge(), zero_state));
+  EXPECT_DOUBLE_EQ(sat_count(rig.mgr, result.reached.edge(),
+                             static_cast<unsigned>(rig.sym.state_vars.size())),
+                   15.0);
+}
+
+TEST(Reach, ShiftRegisterFillsIn) {
+  Rig rig(workload::make_shift_register(3));
+  const ReachResult result = reachable_states(rig.mgr, rig.sym, rig.next_vars);
+  EXPECT_EQ(result.reached.edge(), kOne);
+  EXPECT_LE(result.iterations, 4u);  // depth-3 pipeline + fixpoint check
+}
+
+TEST(Reach, HookSeesFrontierAndCareAndMayChooseAnyCover) {
+  Rig rig(workload::make_counter(3));
+  std::size_t calls = 0;
+  ReachOptions opts;
+  opts.minimize = [&](Manager& m, Edge f, Edge c) {
+    ++calls;
+    // Contract from Coudert's formulation: the frontier is cared for and
+    // the care set is U + !R, i.e. f <= c.
+    EXPECT_TRUE(m.leq(f, c));
+    // Return the largest admissible set instead of constrain's choice.
+    return m.or_(f, !c);
+  };
+  const ReachResult result =
+      reachable_states(rig.mgr, rig.sym, rig.next_vars, opts);
+  EXPECT_EQ(result.reached.edge(), kOne);
+  EXPECT_GT(calls, 0u);
+}
+
+TEST(Reach, RestrictHookGivesSameFixedPointAsConstrain) {
+  for (const ImageMethod method :
+       {ImageMethod::kRelational, ImageMethod::kClustered,
+        ImageMethod::kFunctional}) {
+    Rig a(workload::make_gray_counter(3));
+    ReachOptions with_restrict;
+    with_restrict.image_method = method;
+    with_restrict.minimize = [](Manager& m, Edge f, Edge c) {
+      return minimize::restrict_dc(m, f, c);
+    };
+    const Edge via_restrict =
+        reachable_states(a.mgr, a.sym, a.next_vars, with_restrict)
+            .reached.edge();
+    ReachOptions with_constrain;
+    with_constrain.image_method = method;
+    const Edge via_constrain =
+        reachable_states(a.mgr, a.sym, a.next_vars, with_constrain)
+            .reached.edge();
+    EXPECT_EQ(via_restrict, via_constrain);
+  }
+}
+
+TEST(Reach, BackwardFromMonotoneSink) {
+  // The bit-setter can only set bits: the all-zero state reaches
+  // everything forward, but backward from {0} only {0} itself.
+  Rig rig(workload::make_bit_setter(4));
+  const Edge zero = state_code(rig.mgr, rig.sym.state_vars, 0);
+  const fsm::ReachResult back =
+      backward_reachable_states(rig.mgr, rig.sym, rig.next_vars, zero);
+  EXPECT_EQ(back.reached.edge(), zero);
+  // Backward from the all-ones state: everything can reach it.
+  const Edge ones = state_code(rig.mgr, rig.sym.state_vars, 15);
+  const fsm::ReachResult all =
+      backward_reachable_states(rig.mgr, rig.sym, rig.next_vars, ones);
+  EXPECT_EQ(all.reached.edge(), kOne);
+}
+
+TEST(Reach, BackwardAgreesWithForwardOnStronglyConnectedMachines) {
+  // The enabled counter is one big cycle: every state reaches every
+  // other, so backward from any singleton is the full space.
+  Rig rig(workload::make_counter(3));
+  const Edge five = state_code(rig.mgr, rig.sym.state_vars, 5);
+  const fsm::ReachResult back =
+      backward_reachable_states(rig.mgr, rig.sym, rig.next_vars, five);
+  EXPECT_EQ(back.reached.edge(), kOne);
+}
+
+TEST(Reach, BackwardHookIsExercised) {
+  Rig rig(workload::make_bit_setter(4));
+  std::size_t calls = 0;
+  fsm::ReachOptions opts;
+  opts.minimize = [&](Manager& m, Edge f, Edge c) {
+    ++calls;
+    return minimize::restrict_dc(m, f, c);
+  };
+  const Edge ones = state_code(rig.mgr, rig.sym.state_vars, 15);
+  const fsm::ReachResult all =
+      backward_reachable_states(rig.mgr, rig.sym, rig.next_vars, ones, opts);
+  EXPECT_EQ(all.reached.edge(), kOne);
+  EXPECT_GT(calls, 0u);
+}
+
+TEST(Reach, IterationLimitThrows) {
+  Rig rig(workload::make_counter(4));
+  ReachOptions opts;
+  opts.max_iterations = 3;
+  EXPECT_THROW(reachable_states(rig.mgr, rig.sym, rig.next_vars, opts),
+               std::runtime_error);
+}
+
+TEST(Reach, MinimizedFrontiersAreAlwaysValidCovers) {
+  // Wrap constrain with a validator: every [f, c] handed out must satisfy
+  // U <= S <= R when S is a cover.
+  Rig rig(workload::make_mult_register(3, 2));
+  ReachOptions opts;
+  opts.minimize = [](Manager& m, Edge f, Edge c) {
+    const Edge g = minimize::constrain(m, f, c);
+    EXPECT_TRUE(minimize::is_cover(m, g, {f, c}));
+    return g;
+  };
+  const ReachResult result =
+      reachable_states(rig.mgr, rig.sym, rig.next_vars, opts);
+  EXPECT_GT(result.iterations, 0u);
+}
+
+}  // namespace
+}  // namespace bddmin::fsm

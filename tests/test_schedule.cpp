@@ -1,0 +1,100 @@
+#include "minimize/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "bdd/ops.hpp"
+#include "bdd/truth_table.hpp"
+#include "minimize/exact.hpp"
+
+namespace bddmin::minimize {
+namespace {
+
+class ScheduleFixture : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScheduleFixture, AlwaysReturnsACover) {
+  Manager mgr(6);
+  std::mt19937_64 rng(GetParam());
+  for (int round = 0; round < 30; ++round) {
+    const Edge f = from_tt(mgr, rng() & tt_mask(6), 6);
+    std::uint64_t c_tt = rng() & tt_mask(6);
+    if (c_tt == 0) c_tt = 1;
+    const Edge c = from_tt(mgr, c_tt, 6);
+    for (const unsigned window : {1u, 2u, 4u}) {
+      for (const unsigned stop : {1u, 3u, 8u}) {
+        ScheduleOptions opts;
+        opts.window_size = window;
+        opts.stop_top_down = stop;
+        opts.use_level_steps = (round % 2) == 0;
+        const Edge g = scheduled_minimize(mgr, opts, f, c);
+        EXPECT_TRUE(is_cover(mgr, g, {f, c}))
+            << "window " << window << " stop " << stop;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScheduleFixture, ::testing::Values(2, 4));
+
+TEST(Schedule, LargeStopTopDownDegeneratesToConstrain) {
+  Manager mgr(5);
+  std::mt19937_64 rng(8);
+  ScheduleOptions opts;
+  opts.stop_top_down = 100;  // bail out immediately
+  for (int round = 0; round < 20; ++round) {
+    const Edge f = from_tt(mgr, rng() & tt_mask(5), 5);
+    std::uint64_t c_tt = rng() & tt_mask(5);
+    if (c_tt == 0) c_tt = 1;
+    const Edge c = from_tt(mgr, c_tt, 5);
+    EXPECT_EQ(scheduled_minimize(mgr, opts, f, c), constrain(mgr, f, c));
+  }
+}
+
+TEST(Schedule, TrivialCareSets) {
+  Manager mgr(4);
+  const Edge f = mgr.xor_(mgr.var_edge(0), mgr.var_edge(3));
+  EXPECT_EQ(scheduled_minimize(mgr, {}, f, kOne), f);
+  EXPECT_EQ(scheduled_minimize(mgr, {}, f, kZero), f);
+}
+
+TEST(Schedule, NeverWorseThanExactMinimumAndUsuallyCompetitive) {
+  Manager mgr(4);
+  std::mt19937_64 rng(12);
+  std::size_t sched_total = 0;
+  std::size_t constrain_total = 0;
+  std::size_t exact_total = 0;
+  for (int round = 0; round < 12; ++round) {
+    const Edge f = from_tt(mgr, rng() & tt_mask(4), 4);
+    std::uint64_t c_tt = (rng() | rng()) & tt_mask(4);
+    if (c_tt == 0) c_tt = 1;
+    const Edge c = from_tt(mgr, c_tt, 4);
+    ScheduleOptions opts;
+    opts.window_size = 2;
+    opts.stop_top_down = 2;
+    const Edge g = scheduled_minimize(mgr, opts, f, c);
+    ASSERT_TRUE(is_cover(mgr, g, {f, c}));
+    const auto exact = exact_minimum(mgr, f, c, 4);
+    ASSERT_TRUE(exact.has_value());
+    EXPECT_GE(count_nodes(mgr, g), exact->size);
+    sched_total += count_nodes(mgr, g);
+    constrain_total += count_nodes(mgr, constrain(mgr, f, c));
+    exact_total += exact->size;
+  }
+  // The schedule applies strictly more freedom-preserving matching than
+  // plain constrain, so cumulatively it should not lose to it.
+  EXPECT_LE(sched_total, constrain_total);
+  EXPECT_GE(sched_total, exact_total);
+}
+
+TEST(Schedule, WindowSizeZeroIsClampedNotInfinite) {
+  Manager mgr(4);
+  ScheduleOptions opts;
+  opts.window_size = 0;
+  const Edge f = mgr.and_(mgr.var_edge(0), mgr.var_edge(1));
+  const Edge c = mgr.or_(mgr.var_edge(2), mgr.var_edge(3));
+  EXPECT_TRUE(is_cover(mgr, scheduled_minimize(mgr, opts, f, c), {f, c}));
+}
+
+}  // namespace
+}  // namespace bddmin::minimize

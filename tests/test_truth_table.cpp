@@ -1,0 +1,78 @@
+#include "bdd/truth_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "bdd/ops.hpp"
+
+namespace bddmin {
+namespace {
+
+TEST(TruthTable, MaskWidths) {
+  EXPECT_EQ(tt_mask(0), 1ull);
+  EXPECT_EQ(tt_mask(1), 3ull);
+  EXPECT_EQ(tt_mask(2), 0xFull);
+  EXPECT_EQ(tt_mask(5), 0xFFFFFFFFull);
+  EXPECT_EQ(tt_mask(6), ~0ull);
+}
+
+TEST(TruthTable, ConstantsAndLiterals) {
+  Manager mgr(3);
+  EXPECT_EQ(from_tt(mgr, 0, 3), kZero);
+  EXPECT_EQ(from_tt(mgr, tt_mask(3), 3), kOne);
+  // x0 = odd minterms, x2 = upper half.
+  EXPECT_EQ(from_tt(mgr, 0b10101010, 3), mgr.var_edge(0));
+  EXPECT_EQ(from_tt(mgr, 0b11110000, 3), mgr.var_edge(2));
+}
+
+class TtRoundTrip : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(TtRoundTrip, FromToIsIdentity) {
+  const unsigned n = GetParam();
+  Manager mgr(6);
+  std::mt19937_64 rng(n * 101 + 1);
+  for (int round = 0; round < 60; ++round) {
+    const std::uint64_t tt = rng() & tt_mask(n);
+    EXPECT_EQ(to_tt(mgr, from_tt(mgr, tt, n), n), tt);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, TtRoundTrip, ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(TruthTable, FromTtIsCanonical) {
+  Manager mgr(4);
+  std::mt19937_64 rng(5);
+  for (int round = 0; round < 40; ++round) {
+    const std::uint64_t tt = rng() & tt_mask(4);
+    EXPECT_EQ(from_tt(mgr, tt, 4), from_tt(mgr, tt, 4));
+    EXPECT_EQ(from_tt(mgr, ~tt & tt_mask(4), 4), !from_tt(mgr, tt, 4));
+  }
+}
+
+TEST(TruthTable, TtBddSizeMatchesManagerCount) {
+  // Parity of 4 variables: the canonical worst case, 4 + 4... with
+  // complement edges a parity BDD has one node per variable + terminal.
+  std::uint64_t parity = 0;
+  for (unsigned m = 0; m < 16; ++m) {
+    if (std::popcount(m) % 2) parity |= 1ull << m;
+  }
+  EXPECT_EQ(tt_bdd_size(parity, 4), 5u);
+  EXPECT_EQ(tt_bdd_size(0, 3), 1u);
+  EXPECT_EQ(tt_bdd_size(0b10101010, 3), 2u);
+}
+
+TEST(TruthTable, SemanticsAgreeWithEval) {
+  Manager mgr(4);
+  std::mt19937_64 rng(17);
+  const std::uint64_t tt = rng() & tt_mask(4);
+  const Edge f = from_tt(mgr, tt, 4);
+  for (unsigned m = 0; m < 16; ++m) {
+    std::vector<bool> assignment(4);
+    for (unsigned v = 0; v < 4; ++v) assignment[v] = (m >> v) & 1;
+    EXPECT_EQ(eval(mgr, f, assignment), ((tt >> m) & 1) != 0);
+  }
+}
+
+}  // namespace
+}  // namespace bddmin
