@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cliques.dir/bench_ablation_cliques.cpp.o"
+  "CMakeFiles/bench_ablation_cliques.dir/bench_ablation_cliques.cpp.o.d"
+  "bench_ablation_cliques"
+  "bench_ablation_cliques.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cliques.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

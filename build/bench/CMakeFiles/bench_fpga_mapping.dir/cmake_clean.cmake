@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fpga_mapping.dir/bench_fpga_mapping.cpp.o"
+  "CMakeFiles/bench_fpga_mapping.dir/bench_fpga_mapping.cpp.o.d"
+  "bench_fpga_mapping"
+  "bench_fpga_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fpga_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

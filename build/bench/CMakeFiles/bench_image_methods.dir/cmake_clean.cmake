@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_image_methods.dir/bench_image_methods.cpp.o"
+  "CMakeFiles/bench_image_methods.dir/bench_image_methods.cpp.o.d"
+  "bench_image_methods"
+  "bench_image_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_image_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpga_mux_mapping.dir/fpga_mux_mapping.cpp.o"
+  "CMakeFiles/fpga_mux_mapping.dir/fpga_mux_mapping.cpp.o.d"
+  "fpga_mux_mapping"
+  "fpga_mux_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpga_mux_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsm_equivalence.dir/fsm_equivalence.cpp.o"
+  "CMakeFiles/fsm_equivalence.dir/fsm_equivalence.cpp.o.d"
+  "fsm_equivalence"
+  "fsm_equivalence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsm_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reachability_frontiers.dir/reachability_frontiers.cpp.o"
+  "CMakeFiles/reachability_frontiers.dir/reachability_frontiers.cpp.o.d"
+  "reachability_frontiers"
+  "reachability_frontiers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reachability_frontiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for reachability_frontiers.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variable_reordering.dir/variable_reordering.cpp.o"
+  "CMakeFiles/variable_reordering.dir/variable_reordering.cpp.o.d"
+  "variable_reordering"
+  "variable_reordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variable_reordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bdd/bdd.cpp" "src/CMakeFiles/bddmin.dir/bdd/bdd.cpp.o" "gcc" "src/CMakeFiles/bddmin.dir/bdd/bdd.cpp.o.d"
+  "/root/repo/src/bdd/cube.cpp" "src/CMakeFiles/bddmin.dir/bdd/cube.cpp.o" "gcc" "src/CMakeFiles/bddmin.dir/bdd/cube.cpp.o.d"
+  "/root/repo/src/bdd/dot.cpp" "src/CMakeFiles/bddmin.dir/bdd/dot.cpp.o" "gcc" "src/CMakeFiles/bddmin.dir/bdd/dot.cpp.o.d"
+  "/root/repo/src/bdd/io.cpp" "src/CMakeFiles/bddmin.dir/bdd/io.cpp.o" "gcc" "src/CMakeFiles/bddmin.dir/bdd/io.cpp.o.d"
+  "/root/repo/src/bdd/manager.cpp" "src/CMakeFiles/bddmin.dir/bdd/manager.cpp.o" "gcc" "src/CMakeFiles/bddmin.dir/bdd/manager.cpp.o.d"
+  "/root/repo/src/bdd/ops.cpp" "src/CMakeFiles/bddmin.dir/bdd/ops.cpp.o" "gcc" "src/CMakeFiles/bddmin.dir/bdd/ops.cpp.o.d"
+  "/root/repo/src/bdd/truth_table.cpp" "src/CMakeFiles/bddmin.dir/bdd/truth_table.cpp.o" "gcc" "src/CMakeFiles/bddmin.dir/bdd/truth_table.cpp.o.d"
+  "/root/repo/src/fsm/encoding.cpp" "src/CMakeFiles/bddmin.dir/fsm/encoding.cpp.o" "gcc" "src/CMakeFiles/bddmin.dir/fsm/encoding.cpp.o.d"
+  "/root/repo/src/fsm/equiv.cpp" "src/CMakeFiles/bddmin.dir/fsm/equiv.cpp.o" "gcc" "src/CMakeFiles/bddmin.dir/fsm/equiv.cpp.o.d"
+  "/root/repo/src/fsm/fsm.cpp" "src/CMakeFiles/bddmin.dir/fsm/fsm.cpp.o" "gcc" "src/CMakeFiles/bddmin.dir/fsm/fsm.cpp.o.d"
+  "/root/repo/src/fsm/image.cpp" "src/CMakeFiles/bddmin.dir/fsm/image.cpp.o" "gcc" "src/CMakeFiles/bddmin.dir/fsm/image.cpp.o.d"
+  "/root/repo/src/fsm/kiss.cpp" "src/CMakeFiles/bddmin.dir/fsm/kiss.cpp.o" "gcc" "src/CMakeFiles/bddmin.dir/fsm/kiss.cpp.o.d"
+  "/root/repo/src/fsm/reach.cpp" "src/CMakeFiles/bddmin.dir/fsm/reach.cpp.o" "gcc" "src/CMakeFiles/bddmin.dir/fsm/reach.cpp.o.d"
+  "/root/repo/src/harness/csv.cpp" "src/CMakeFiles/bddmin.dir/harness/csv.cpp.o" "gcc" "src/CMakeFiles/bddmin.dir/harness/csv.cpp.o.d"
+  "/root/repo/src/harness/intercept.cpp" "src/CMakeFiles/bddmin.dir/harness/intercept.cpp.o" "gcc" "src/CMakeFiles/bddmin.dir/harness/intercept.cpp.o.d"
+  "/root/repo/src/harness/render.cpp" "src/CMakeFiles/bddmin.dir/harness/render.cpp.o" "gcc" "src/CMakeFiles/bddmin.dir/harness/render.cpp.o.d"
+  "/root/repo/src/harness/stats.cpp" "src/CMakeFiles/bddmin.dir/harness/stats.cpp.o" "gcc" "src/CMakeFiles/bddmin.dir/harness/stats.cpp.o.d"
+  "/root/repo/src/minimize/exact.cpp" "src/CMakeFiles/bddmin.dir/minimize/exact.cpp.o" "gcc" "src/CMakeFiles/bddmin.dir/minimize/exact.cpp.o.d"
+  "/root/repo/src/minimize/incspec.cpp" "src/CMakeFiles/bddmin.dir/minimize/incspec.cpp.o" "gcc" "src/CMakeFiles/bddmin.dir/minimize/incspec.cpp.o.d"
+  "/root/repo/src/minimize/level.cpp" "src/CMakeFiles/bddmin.dir/minimize/level.cpp.o" "gcc" "src/CMakeFiles/bddmin.dir/minimize/level.cpp.o.d"
+  "/root/repo/src/minimize/lower_bound.cpp" "src/CMakeFiles/bddmin.dir/minimize/lower_bound.cpp.o" "gcc" "src/CMakeFiles/bddmin.dir/minimize/lower_bound.cpp.o.d"
+  "/root/repo/src/minimize/matching.cpp" "src/CMakeFiles/bddmin.dir/minimize/matching.cpp.o" "gcc" "src/CMakeFiles/bddmin.dir/minimize/matching.cpp.o.d"
+  "/root/repo/src/minimize/registry.cpp" "src/CMakeFiles/bddmin.dir/minimize/registry.cpp.o" "gcc" "src/CMakeFiles/bddmin.dir/minimize/registry.cpp.o.d"
+  "/root/repo/src/minimize/schedule.cpp" "src/CMakeFiles/bddmin.dir/minimize/schedule.cpp.o" "gcc" "src/CMakeFiles/bddmin.dir/minimize/schedule.cpp.o.d"
+  "/root/repo/src/minimize/sibling.cpp" "src/CMakeFiles/bddmin.dir/minimize/sibling.cpp.o" "gcc" "src/CMakeFiles/bddmin.dir/minimize/sibling.cpp.o.d"
+  "/root/repo/src/pla/pla.cpp" "src/CMakeFiles/bddmin.dir/pla/pla.cpp.o" "gcc" "src/CMakeFiles/bddmin.dir/pla/pla.cpp.o.d"
+  "/root/repo/src/workload/builtin_fsms.cpp" "src/CMakeFiles/bddmin.dir/workload/builtin_fsms.cpp.o" "gcc" "src/CMakeFiles/bddmin.dir/workload/builtin_fsms.cpp.o.d"
+  "/root/repo/src/workload/generators.cpp" "src/CMakeFiles/bddmin.dir/workload/generators.cpp.o" "gcc" "src/CMakeFiles/bddmin.dir/workload/generators.cpp.o.d"
+  "/root/repo/src/workload/instances.cpp" "src/CMakeFiles/bddmin.dir/workload/instances.cpp.o" "gcc" "src/CMakeFiles/bddmin.dir/workload/instances.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_builtin_fsms.dir/test_builtin_fsms.cpp.o"
+  "CMakeFiles/test_builtin_fsms.dir/test_builtin_fsms.cpp.o.d"
+  "test_builtin_fsms"
+  "test_builtin_fsms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_builtin_fsms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

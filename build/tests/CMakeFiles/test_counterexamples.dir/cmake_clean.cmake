@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_counterexamples.dir/test_counterexamples.cpp.o"
+  "CMakeFiles/test_counterexamples.dir/test_counterexamples.cpp.o.d"
+  "test_counterexamples"
+  "test_counterexamples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_counterexamples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

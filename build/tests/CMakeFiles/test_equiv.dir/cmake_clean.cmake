@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_equiv.dir/test_equiv.cpp.o"
+  "CMakeFiles/test_equiv.dir/test_equiv.cpp.o.d"
+  "test_equiv"
+  "test_equiv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_equiv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

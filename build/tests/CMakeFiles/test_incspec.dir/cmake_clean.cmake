@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_incspec.dir/test_incspec.cpp.o"
+  "CMakeFiles/test_incspec.dir/test_incspec.cpp.o.d"
+  "test_incspec"
+  "test_incspec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_incspec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_instances.dir/test_instances.cpp.o"
+  "CMakeFiles/test_instances.dir/test_instances.cpp.o.d"
+  "test_instances"
+  "test_instances.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_instances.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

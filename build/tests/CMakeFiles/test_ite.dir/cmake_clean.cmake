@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ite.dir/test_ite.cpp.o"
+  "CMakeFiles/test_ite.dir/test_ite.cpp.o.d"
+  "test_ite"
+  "test_ite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

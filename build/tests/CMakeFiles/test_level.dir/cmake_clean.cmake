@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_level.dir/test_level.cpp.o"
+  "CMakeFiles/test_level.dir/test_level.cpp.o.d"
+  "test_level"
+  "test_level.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sibling.dir/test_sibling.cpp.o"
+  "CMakeFiles/test_sibling.dir/test_sibling.cpp.o.d"
+  "test_sibling"
+  "test_sibling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sibling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bddmin_cli.dir/bddmin_cli.cpp.o"
+  "CMakeFiles/bddmin_cli.dir/bddmin_cli.cpp.o.d"
+  "bddmin_cli"
+  "bddmin_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bddmin_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_usage "/root/repo/build/tools/bddmin_cli")
+set_tests_properties(cli_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_minimize "/root/repo/build/tools/bddmin_cli" "minimize" "/root/repo/data/sevenseg.pla" "--sift")
+set_tests_properties(cli_minimize PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_minimize_one "/root/repo/build/tools/bddmin_cli" "minimize" "/root/repo/data/prio8_like.pla" "--heuristic" "osm_bt")
+set_tests_properties(cli_minimize_one PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_equiv_self "/root/repo/build/tools/bddmin_cli" "equiv" "/root/repo/data/tlc_like.kiss" "/root/repo/data/tlc_like.kiss" "--stats")
+set_tests_properties(cli_equiv_self PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_equiv_differs "/root/repo/build/tools/bddmin_cli" "equiv" "/root/repo/data/tlc_like.kiss" "/root/repo/data/tlc_mutant.kiss")
+set_tests_properties(cli_equiv_differs PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_reach "/root/repo/build/tools/bddmin_cli" "reach" "/root/repo/data/ctrl_like.kiss")
+set_tests_properties(cli_reach PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
