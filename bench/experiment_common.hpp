@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/audit.hpp"
 #include "fsm/equiv.hpp"
 #include "harness/intercept.hpp"
 #include "workload/builtin_fsms.hpp"
@@ -101,6 +102,14 @@ inline std::vector<fsm::MachineSpec> reach_workload_machines() {
 /// interceptor sees the same two call populations as the paper:
 /// frontier minimizations [U, U + R̄] and image constrains [delta_k, S].
 inline void run_workload(harness::Interceptor& interceptor) {
+  // The interceptor honors BDDMIN_AUDIT_LEVEL (analysis/audit.hpp): at
+  // level >= 1 every heuristic call is followed by a manager audit, so a
+  // whole experiment doubles as a soak test of the BDD invariants.
+  if (const analysis::AuditLevel lvl = analysis::audit_level_from_env();
+      lvl != analysis::AuditLevel::kOff) {
+    std::printf("# BDDMIN_AUDIT_LEVEL=%d: auditing after every heuristic call\n",
+                static_cast<int>(lvl));
+  }
   fsm::EquivOptions opts;
   opts.image_method = fsm::ImageMethod::kFunctional;
   opts.minimize = interceptor.hook();

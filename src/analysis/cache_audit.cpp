@@ -1,0 +1,131 @@
+/// \file cache_audit.cpp
+/// \brief Tier-3 BddAudit pass: computed-cache coherence.
+///
+/// The computed cache is invalidated in O(1) by bumping an epoch, so a
+/// slot is *live* only when its epoch matches the manager's.  Three
+/// properties are audited:
+///
+/// 1. No slot claims an epoch from the future (invalidation monotonicity).
+/// 2. Every live slot decodes to in-range, non-free operand/result nodes
+///    and a known operation tag (reserved manager tags other than ITE are
+///    never issued today).
+/// 3. Live ITE slots replay correctly: recomputing ite(a, b, c) with a
+///    fresh, cache-free recursion must reproduce the memoized edge bit for
+///    bit — canonicity turns semantic equality into edge comparison.
+///
+/// Epoch semantics make stale slots (older epoch) legal even when they
+/// reference freed nodes; they are skipped, exactly as cache_lookup skips
+/// them.  Replay allocates nodes through make_node; they are left dead
+/// for the next garbage_collect().
+#include <array>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/access.hpp"
+#include "analysis/audit.hpp"
+
+namespace bddmin::analysis {
+namespace {
+
+/// ITE with the manager's terminal rules but a private memo table, so the
+/// (possibly corrupt) computed cache is never consulted.
+Edge uncached_ite(Manager& mgr, Edge f, Edge g, Edge h,
+                  std::map<std::array<std::uint32_t, 3>, Edge>& memo) {
+  if (f == kOne) return g;
+  if (f == kZero) return h;
+  if (g == h) return g;
+  if (g == kOne && h == kZero) return f;
+  if (g == kZero && h == kOne) return !f;
+  const std::array<std::uint32_t, 3> key{f.bits, g.bits, h.bits};
+  if (const auto it = memo.find(key); it != memo.end()) return it->second;
+  const std::uint32_t v = mgr.top_var(f, g, h);
+  const auto [f1, f0] = mgr.branches(f, v);
+  const auto [g1, g0] = mgr.branches(g, v);
+  const auto [h1, h0] = mgr.branches(h, v);
+  const Edge t = uncached_ite(mgr, f1, g1, h1, memo);
+  const Edge e = uncached_ite(mgr, f0, g0, h0, memo);
+  const Edge result = mgr.make_node(v, t, e);
+  memo.emplace(key, result);
+  return result;
+}
+
+std::string edge_str(Edge e) {
+  return (e.complemented() ? "!" : "") + std::to_string(e.index());
+}
+
+std::string entry_str(std::uint32_t op, Edge a, Edge b, Edge c) {
+  return "cache entry op " + std::to_string(op) + " (" + edge_str(a) + ", " +
+         edge_str(b) + ", " + edge_str(c) + ")";
+}
+
+}  // namespace
+
+void audit_cache(Manager& mgr, std::size_t replay_limit, AuditReport& report) {
+  const std::vector<Node>& nodes = ManagerAccess::nodes(mgr);
+  const std::uint64_t epoch = ManagerAccess::cache_epoch(mgr);
+
+  struct LiveEntry {
+    std::uint32_t op;
+    Edge a, b, c, result;
+  };
+  std::vector<LiveEntry> ite_entries;
+
+  // Pass 1: validate every live slot *before* replay — replays allocate
+  // nodes and could resurrect a freed slot an entry dangles into.
+  const auto edge_valid = [&](Edge e) {
+    return e.index() < nodes.size() && nodes[e.index()].var != kFreeVar;
+  };
+  for (const auto& slot : ManagerAccess::cache(mgr)) {
+    if (slot.k1 == ~0ull) continue;  // never used
+    if (slot.epoch > epoch) {
+      report.add(Category::kCache,
+                 "cache slot claims epoch " + std::to_string(slot.epoch) +
+                     " but the manager is at epoch " + std::to_string(epoch));
+      continue;
+    }
+    if (slot.epoch != epoch) continue;  // stale: legal, ignored by lookups
+    ++report.cache_entries_checked;
+    const auto op = static_cast<std::uint32_t>(slot.k1 >> 32);
+    const Edge a{static_cast<std::uint32_t>(slot.k1)};
+    const Edge b{static_cast<std::uint32_t>(slot.k2 >> 32)};
+    const Edge c{static_cast<std::uint32_t>(slot.k2)};
+    bool operands_ok = true;
+    for (const Edge e : {a, b, c, slot.result}) {
+      if (!edge_valid(e)) {
+        report.add(Category::kCache,
+                   entry_str(op, a, b, c) + " references " +
+                       (e.index() < nodes.size() ? "a freed slot"
+                                                 : "an out-of-range node") +
+                       " at epoch " + std::to_string(epoch));
+        operands_ok = false;
+        break;
+      }
+    }
+    if (!operands_ok) continue;
+    if (op != ManagerAccess::op_ite() && op < Manager::kUserOpBase) {
+      report.add(Category::kCache,
+                 entry_str(op, a, b, c) +
+                     " carries a reserved op tag the manager never issues");
+      continue;
+    }
+    if (op == ManagerAccess::op_ite()) ite_entries.push_back({op, a, b, c, slot.result});
+  }
+
+  // Pass 2: replay live ITE entries through the uncached recursion.
+  std::map<std::array<std::uint32_t, 3>, Edge> memo;
+  for (const LiveEntry& entry : ite_entries) {
+    if (replay_limit != 0 && report.cache_replays >= replay_limit) break;
+    ++report.cache_replays;
+    const Edge recomputed =
+        uncached_ite(mgr, entry.a, entry.b, entry.c, memo);
+    if (recomputed != entry.result) {
+      report.add(Category::kCache,
+                 entry_str(entry.op, entry.a, entry.b, entry.c) +
+                     " memoizes " + edge_str(entry.result) +
+                     " but uncached ITE yields " + edge_str(recomputed));
+    }
+  }
+}
+
+}  // namespace bddmin::analysis

@@ -1,0 +1,49 @@
+/// \file check.hpp
+/// \brief Tiered assertion macros for the bddmin hot paths.
+///
+/// Two tiers, mirroring the usual production/debug split:
+///
+/// * `BDDMIN_CHECK(cond)` — always compiled, in every build type.  Use for
+///   cheap API-boundary preconditions (index in range, non-zero cube)
+///   whose violation means the caller is broken.
+/// * `BDDMIN_DCHECK(cond)` — compiled in Debug builds (`!NDEBUG`) or when
+///   `BDDMIN_ENABLE_DCHECKS` is defined (CMake `-DBDDMIN_ENABLE_DCHECKS=ON`).
+///   Use for expensive or inner-loop invariants (canonical-form checks,
+///   semantic `matches(...)` re-verification) that would tax release-mode
+///   throughput.
+///
+/// A failing check throws std::logic_error with the expression and source
+/// location.  Inside a `noexcept` function (ref/deref, GC cascade) the
+/// throw escalates to std::terminate — i.e. checks fail fast rather than
+/// corrupt the node table.  Deeper, whole-table validation lives in the
+/// BddAudit passes (`analysis/audit.hpp`); these macros are the per-call
+/// guard rails.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace bddmin::analysis {
+
+[[noreturn]] inline void check_fail(const char* kind, const char* expr,
+                                    const char* file, int line) {
+  throw std::logic_error(std::string(kind) + " failed: " + expr + " (" + file +
+                         ":" + std::to_string(line) + ")");
+}
+
+}  // namespace bddmin::analysis
+
+#define BDDMIN_CHECK(cond)                                               \
+  ((cond) ? static_cast<void>(0)                                         \
+          : ::bddmin::analysis::check_fail("BDDMIN_CHECK", #cond,        \
+                                           __FILE__, __LINE__))
+
+#if defined(BDDMIN_ENABLE_DCHECKS) || !defined(NDEBUG)
+#define BDDMIN_DCHECK(cond)                                              \
+  ((cond) ? static_cast<void>(0)                                         \
+          : ::bddmin::analysis::check_fail("BDDMIN_DCHECK", #cond,       \
+                                           __FILE__, __LINE__))
+#else
+// Swallow the condition unevaluated but keep it syntactically checked.
+#define BDDMIN_DCHECK(cond) static_cast<void>(sizeof(!(cond)))
+#endif

@@ -1,0 +1,64 @@
+#include "analysis/cover_audit.hpp"
+
+#include <exception>
+#include <string>
+
+#include "bdd/bdd.hpp"
+#include "bdd/cube.hpp"
+#include "bdd/ops.hpp"
+
+namespace bddmin::analysis {
+namespace {
+
+/// Render one minterm of the non-empty violation set \p witness_set as
+/// "x0=1 x3=0 ..." (a largest cube of the set, for a short description).
+std::string witness_cube(Manager& mgr, Edge witness_set) {
+  const CubeVec cube = largest_cube(mgr, witness_set, mgr.num_vars());
+  std::string out;
+  for (std::size_t v = 0; v < cube.size(); ++v) {
+    if (cube[v] == kAbsentLiteral) continue;
+    if (!out.empty()) out += ' ';
+    out += 'x' + std::to_string(v) + '=' + (cube[v] != 0 ? '1' : '0');
+  }
+  return out.empty() ? "any minterm" : out;
+}
+
+}  // namespace
+
+void audit_cover(Manager& mgr, Edge f, Edge c, Edge g, std::string_view label,
+                 AuditReport& report) {
+  ++report.covers_checked;
+  // Lower bound: f·c <= g, i.e. f·c·ḡ must be empty.
+  const Edge below = mgr.and_(mgr.and_(f, c), !g);
+  if (below != kZero) {
+    report.add(Category::kCover,
+               std::string(label) + " violates f*c <= g (care onset dropped at " +
+                   witness_cube(mgr, below) + ")");
+  }
+  // Upper bound: g <= f + c̄, i.e. g·f̄·c must be empty.
+  const Edge above = mgr.and_(mgr.and_(g, !f), c);
+  if (above != kZero) {
+    report.add(Category::kCover,
+               std::string(label) + " violates g <= f+!c (care offset added at " +
+                   witness_cube(mgr, above) + ")");
+  }
+}
+
+AuditReport audit_heuristic_contracts(
+    Manager& mgr, Edge f, Edge c,
+    const std::vector<minimize::Heuristic>& set) {
+  AuditReport report;
+  const Bdd f_pin(mgr, f);
+  const Bdd c_pin(mgr, c);
+  for (const minimize::Heuristic& h : set) {
+    try {
+      const Bdd g(mgr, h.run(mgr, f, c));
+      audit_cover(mgr, f, c, g.edge(), h.name, report);
+    } catch (const std::exception& e) {
+      report.add(Category::kCover, h.name + " threw: " + e.what());
+    }
+  }
+  return report;
+}
+
+}  // namespace bddmin::analysis

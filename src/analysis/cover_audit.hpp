@@ -1,0 +1,33 @@
+/// \file cover_audit.hpp
+/// \brief Tier-4 BddAudit pass: minimizer output contracts.
+///
+/// Every heuristic maps an incompletely specified function [f, c] to a
+/// cover g that must satisfy Definition 2:  f·c <= g <= f + c̄.  A result
+/// outside that interval silently corrupts whatever verification the
+/// minimization feeds (the product-machine traversal would explore wrong
+/// frontiers).  This pass checks both bounds and, on violation, extracts
+/// a witness minterm so the offending heuristic can be debugged from the
+/// report alone.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "analysis/audit.hpp"
+#include "minimize/registry.hpp"
+
+namespace bddmin::analysis {
+
+/// Check g against f·c <= g <= f + c̄; on violation append a kCover
+/// finding naming \p label, the violated bound and a witness cube.
+void audit_cover(Manager& mgr, Edge f, Edge c, Edge g, std::string_view label,
+                 AuditReport& report);
+
+/// Run every heuristic in \p set on [f, c] and audit each result.  The
+/// inputs are pinned across the runs; heuristic exceptions surface as
+/// kCover findings rather than propagating.
+[[nodiscard]] AuditReport audit_heuristic_contracts(
+    Manager& mgr, Edge f, Edge c,
+    const std::vector<minimize::Heuristic>& set);
+
+}  // namespace bddmin::analysis

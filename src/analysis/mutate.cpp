@@ -1,0 +1,145 @@
+#include "analysis/mutate.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "analysis/access.hpp"
+
+namespace bddmin::analysis {
+namespace {
+
+/// Indices of allocated, non-terminal nodes, rotated by \p seed so
+/// different seeds corrupt different targets.
+std::vector<std::uint32_t> allocated_targets(const Manager& mgr,
+                                             std::uint64_t seed) {
+  const std::vector<Node>& nodes = ManagerAccess::nodes(mgr);
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t i = 1; i < nodes.size(); ++i) {
+    if (nodes[i].var != kFreeVar) out.push_back(i);
+  }
+  if (!out.empty()) {
+    const std::size_t rot = static_cast<std::size_t>(seed % out.size());
+    std::rotate(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(rot),
+                out.end());
+  }
+  return out;
+}
+
+MutationResult flip_complement(Manager& mgr, std::uint64_t seed) {
+  std::vector<Node>& nodes = ManagerAccess::nodes(mgr);
+  const std::vector<std::uint32_t> targets = allocated_targets(mgr, seed);
+  if (targets.empty()) return {};
+  const std::uint32_t i = targets.front();
+  nodes[i].hi = !nodes[i].hi;
+  return {true, "complemented the stored hi edge of node " + std::to_string(i)};
+}
+
+MutationResult unlink_subtable(Manager& mgr, std::uint64_t seed) {
+  std::vector<Node>& nodes = ManagerAccess::nodes(mgr);
+  auto& subtables = ManagerAccess::subtables(mgr);
+  for (const std::uint32_t i : allocated_targets(mgr, seed)) {
+    auto& table = subtables[nodes[i].var];
+    const std::size_t bucket =
+        ManagerAccess::bucket_of(nodes[i].hi, nodes[i].lo, table.buckets.size());
+    // Unlink without touching table.count — that is the corruption.
+    std::uint32_t* link = &table.buckets[bucket];
+    while (*link != kNilIndex && *link != i) link = &nodes[*link].next;
+    if (*link != i) continue;  // hash chain already inconsistent; next target
+    *link = nodes[i].next;
+    return {true, "unlinked node " + std::to_string(i) +
+                      " from the subtable chain of var " +
+                      std::to_string(nodes[i].var)};
+  }
+  return {};
+}
+
+MutationResult poison_cache(Manager& mgr, std::uint64_t seed) {
+  const std::vector<std::uint32_t> targets = allocated_targets(mgr, seed);
+  if (targets.empty()) return {};
+  // Memoize ite(f, 1, 0) = f as !f: a live-epoch entry whose result is
+  // simply wrong, exactly what a missed invalidation would produce.
+  const Edge f{targets.front() << 1};
+  mgr.cache_insert(ManagerAccess::op_ite(), f, kOne, kZero, !f);
+  return {true, "poisoned the ITE cache entry (" + std::to_string(f.index()) +
+                    ", 1, 0) with the complemented result"};
+}
+
+MutationResult skew_ref(Manager& mgr, std::uint64_t seed) {
+  std::vector<Node>& nodes = ManagerAccess::nodes(mgr);
+  // Recompute structural parent refs so we can pick a node whose stored
+  // count will drop *below* them — detectable without any root registry.
+  std::vector<std::uint32_t> structural(nodes.size(), 0);
+  for (std::uint32_t i = 1; i < nodes.size(); ++i) {
+    if (nodes[i].var == kFreeVar) continue;
+    ++structural[nodes[i].hi.index()];
+    ++structural[nodes[i].lo.index()];
+  }
+  for (const std::uint32_t i : allocated_targets(mgr, seed)) {
+    if (structural[i] == 0 || nodes[i].ref == 0 ||
+        nodes[i].ref != structural[i]) {
+      continue;
+    }
+    --nodes[i].ref;  // bypasses deref(): live/dead accounting not updated
+    return {true, "dropped one reference from node " + std::to_string(i) +
+                      " without accounting"};
+  }
+  return {};
+}
+
+MutationResult skew_counts(Manager& mgr, std::uint64_t) {
+  // Move one node from dead to live accounting.  When dead_count > 0 the
+  // live+dead sum is preserved, so only a pass that recomputes the
+  // counters from actual per-node refs (the tier-2 audit) can notice —
+  // exactly the gap the historical check_invariants() left open.
+  ++ManagerAccess::live_count(mgr);
+  if (ManagerAccess::dead_count(mgr) > 0) --ManagerAccess::dead_count(mgr);
+  return {true, "moved one node from dead to live accounting with no node "
+                "changing state"};
+}
+
+}  // namespace
+
+Category mutation_audit_category(Mutation m) noexcept {
+  switch (m) {
+    case Mutation::kComplementFlip: return Category::kStructure;
+    case Mutation::kSubtableUnlink: return Category::kChain;
+    case Mutation::kStaleCache: return Category::kCache;
+    case Mutation::kRefSkew: return Category::kRefCount;
+    case Mutation::kCountSkew: return Category::kAccounting;
+  }
+  return Category::kStructure;
+}
+
+const char* mutation_name(Mutation m) noexcept {
+  switch (m) {
+    case Mutation::kComplementFlip: return "complement-flip";
+    case Mutation::kSubtableUnlink: return "unlink";
+    case Mutation::kStaleCache: return "stale-cache";
+    case Mutation::kRefSkew: return "ref-skew";
+    case Mutation::kCountSkew: return "count-skew";
+  }
+  return "?";
+}
+
+Mutation mutation_from_name(std::string_view name) {
+  for (const Mutation m :
+       {Mutation::kComplementFlip, Mutation::kSubtableUnlink,
+        Mutation::kStaleCache, Mutation::kRefSkew, Mutation::kCountSkew}) {
+    if (name == mutation_name(m)) return m;
+  }
+  throw std::invalid_argument("unknown mutation class: " + std::string(name));
+}
+
+MutationResult inject(Manager& mgr, Mutation m, std::uint64_t seed) {
+  switch (m) {
+    case Mutation::kComplementFlip: return flip_complement(mgr, seed);
+    case Mutation::kSubtableUnlink: return unlink_subtable(mgr, seed);
+    case Mutation::kStaleCache: return poison_cache(mgr, seed);
+    case Mutation::kRefSkew: return skew_ref(mgr, seed);
+    case Mutation::kCountSkew: return skew_counts(mgr, seed);
+  }
+  return {};
+}
+
+}  // namespace bddmin::analysis

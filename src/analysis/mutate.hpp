@@ -1,0 +1,46 @@
+/// \file mutate.hpp
+/// \brief Fault injection for the BddAudit subsystem: deliberately corrupt
+/// a live Manager so tests (and operators) can prove each auditor pass
+/// actually detects the failure class it claims to cover.
+///
+/// Every injector targets one corruption class and returns a description
+/// of exactly what it broke; `mutation_audit_category()` names the
+/// Category the corresponding audit pass must report.  None of these
+/// repair the manager — a mutated manager is only good for auditing and
+/// should be discarded afterwards.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "analysis/audit.hpp"
+#include "bdd/manager.hpp"
+
+namespace bddmin::analysis {
+
+enum class Mutation {
+  kComplementFlip,  ///< complement a stored hi edge (breaks canonical form)
+  kSubtableUnlink,  ///< remove a node from its unique-table chain
+  kStaleCache,      ///< poison a current-epoch ITE cache entry
+  kRefSkew,         ///< change a stored ref count without accounting
+  kCountSkew,       ///< corrupt the live/dead counters
+};
+
+/// The audit category whose findings prove \p m was detected.
+[[nodiscard]] Category mutation_audit_category(Mutation m) noexcept;
+
+/// Parse a CLI-style name ("complement-flip", "unlink", "stale-cache",
+/// "ref-skew", "count-skew"); throws std::invalid_argument on others.
+[[nodiscard]] Mutation mutation_from_name(std::string_view name);
+[[nodiscard]] const char* mutation_name(Mutation m) noexcept;
+
+struct MutationResult {
+  bool applied = false;     ///< false: no eligible target in this manager
+  std::string description;  ///< what was corrupted, for the report
+};
+
+/// Apply \p m to \p mgr; \p seed varies which eligible target is hit.
+MutationResult inject(Manager& mgr, Mutation m, std::uint64_t seed = 0);
+
+}  // namespace bddmin::analysis

@@ -1,8 +1,9 @@
 #include "bdd/cube.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <unordered_map>
+
+#include "analysis/check.hpp"
 
 namespace bddmin {
 namespace {
@@ -101,7 +102,7 @@ std::size_t shortest_to_one(const Manager& mgr, Edge e,
 }  // namespace
 
 CubeVec largest_cube(const Manager& mgr, Edge f, unsigned num_vars) {
-  assert(f != kZero);
+  BDDMIN_CHECK(f != kZero);
   std::unordered_map<std::uint32_t, std::size_t> memo;
   (void)shortest_to_one(mgr, f, memo);
   CubeVec cube(num_vars, kAbsentLiteral);

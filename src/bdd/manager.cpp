@@ -1,15 +1,14 @@
 #include "bdd/manager.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <numeric>
 #include <stdexcept>
 
+#include "analysis/audit.hpp"
+#include "analysis/check.hpp"
+
 namespace bddmin {
 namespace {
-
-/// Sentinel var value marking a recycled (free) node slot.
-constexpr std::uint32_t kFreeVar = 0xFFFF'FFFEu;
 
 constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
   // splitmix64 finalizer: cheap, well distributed.
@@ -62,7 +61,7 @@ std::size_t Manager::unique_size() const noexcept {
 }
 
 Edge Manager::var_edge(std::uint32_t v) {
-  assert(v < num_vars_);
+  BDDMIN_CHECK(v < num_vars_);
   return make_node(v, kOne, kZero);
 }
 
@@ -70,8 +69,8 @@ Edge Manager::nvar_edge(std::uint32_t v) { return !var_edge(v); }
 
 Edge Manager::make_node(std::uint32_t var, Edge hi, Edge lo) {
   if (hi == lo) return hi;  // deletion rule
-  assert(var < num_vars_);
-  assert(level_of_var(var) < level_of(hi) && level_of_var(var) < level_of(lo));
+  BDDMIN_DCHECK(var < num_vars_);
+  BDDMIN_DCHECK(level_of_var(var) < level_of(hi) && level_of_var(var) < level_of(lo));
   // Canonical complement form: stored hi edge is regular.
   const bool out_complement = hi.complemented();
   if (out_complement) {
@@ -159,7 +158,7 @@ void Manager::ref(Edge e) noexcept {
 void Manager::deref(Edge e) noexcept {
   Node& n = nodes_[e.index()];
   if (n.ref == 0xFFFF'FFFFu) return;
-  assert(n.ref > 0);
+  BDDMIN_DCHECK(n.ref > 0);  // a failure here terminates: deref underflow
   if (--n.ref == 0) {
     --live_count_;
     ++dead_count_;
@@ -183,7 +182,7 @@ std::size_t Manager::garbage_collect() {
     for (const Edge child : {n.hi, n.lo}) {
       Node& cn = nodes_[child.index()];
       if (cn.ref == 0xFFFF'FFFFu) continue;
-      assert(cn.ref > 0);
+      BDDMIN_DCHECK(cn.ref > 0);
       if (--cn.ref == 0) {
         --live_count_;
         ++dead_count_;
@@ -302,7 +301,7 @@ Edge Manager::ite(Edge f, Edge g, Edge h) {
 // ---------------------------------------------------------------------
 
 std::ptrdiff_t Manager::swap_adjacent_levels(std::uint32_t level) {
-  assert(level + 1 < num_vars_);
+  BDDMIN_CHECK(level + 1 < num_vars_);
   const std::uint32_t x = level_to_var_[level];
   const std::uint32_t y = level_to_var_[level + 1];
   const std::ptrdiff_t before = static_cast<std::ptrdiff_t>(unique_size());
@@ -335,7 +334,7 @@ std::ptrdiff_t Manager::swap_adjacent_levels(std::uint32_t level) {
     // (x,(y,f11,f10),(y,f01,f00))  ==  (y,(x,f11,f01),(x,f10,f00))
     const Edge g1 = make_node(x, f11, f01);
     const Edge g0 = make_node(x, f10, f00);
-    assert(!g1.complemented());
+    BDDMIN_DCHECK(!g1.complemented());
     ref(g1);
     ref(g0);
     Node& n = nodes_[index];  // re-fetch: make_node may have reallocated
@@ -442,30 +441,14 @@ void Manager::set_order(std::span<const std::uint32_t> order) {
 }
 
 void Manager::check_invariants() const {
-  const auto fail = [](const char* what) { throw std::logic_error(what); };
-  std::size_t counted = 0;
-  for (std::uint32_t var = 0; var < num_vars_; ++var) {
-    const SubTable& table = subtables_[var];
-    std::size_t chain_total = 0;
-    for (const std::uint32_t head : table.buckets) {
-      for (std::uint32_t i = head; i != kNilIndex; i = nodes_[i].next) {
-        const Node& n = nodes_[i];
-        ++chain_total;
-        if (n.var != var) fail("node filed under the wrong subtable");
-        if (n.hi.complemented()) fail("stored hi edge is complemented");
-        if (n.hi == n.lo) fail("unreduced node (deletion rule violated)");
-        if (level_of_var(var) >= level_of(n.hi) ||
-            level_of_var(var) >= level_of(n.lo)) {
-          fail("order violation: child above parent");
-        }
-      }
-    }
-    if (chain_total != table.count) fail("subtable count mismatch");
-    counted += chain_total;
-  }
-  if (counted + 1 != live_count_ + dead_count_) {
-    fail("live/dead accounting mismatch");
-  }
+  // Thin wrapper over BddAudit (analysis/audit.hpp): the structural pass
+  // covers everything the historical inline checks did, and the ref-count
+  // pass closes their gap — live_count_/dead_count_ are validated against
+  // the actual per-node reference counts, not just the chain totals.
+  analysis::AuditReport report;
+  analysis::audit_structure(*this, report);
+  analysis::audit_refcounts(*this, {}, /*exact_roots=*/false, report);
+  if (!report.ok()) throw std::logic_error(report.summary());
 }
 
 }  // namespace bddmin

@@ -34,6 +34,10 @@
 
 namespace bddmin {
 
+namespace analysis {
+struct ManagerAccess;  // read/write introspection shim for BddAudit
+}  // namespace analysis
+
 class Manager {
  public:
   /// Create a manager over \p num_vars variables.
@@ -161,10 +165,15 @@ class Manager {
   // ---- Introspection for debugging --------------------------------------
   [[nodiscard]] const Node& node_at(std::uint32_t index) const { return nodes_[index]; }
   /// Structural invariant check (canonical hi edges, ordered levels,
-  /// consistent subtable membership); throws std::logic_error on failure.
+  /// consistent subtable membership, ref-count and live/dead accounting);
+  /// throws std::logic_error on the first failure.  Thin wrapper over the
+  /// BddAudit structural and ref-count passes (analysis/audit.hpp); run
+  /// `analysis::audit_manager` directly for a full report instead of a
+  /// first-failure throw.
   void check_invariants() const;
 
  private:
+  friend struct analysis::ManagerAccess;
   enum Op : std::uint32_t {
     kOpIte = 1,
   };

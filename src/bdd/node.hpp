@@ -8,6 +8,11 @@
 
 namespace bddmin {
 
+/// Sentinel variable value marking a recycled (free) node slot in the
+/// manager's table.  Free slots sit on the free list and never appear in a
+/// unique-table chain.
+inline constexpr std::uint32_t kFreeVar = 0xFFFF'FFFEu;
+
 /// One decision node.  Canonical form: the `hi` ("then") edge of a stored
 /// node is never complemented; complements are pushed to the `lo` edge and
 /// to incoming edges.  The terminal node has `var == kConstVar`.

@@ -1,10 +1,11 @@
 #include "bdd/ops.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <unordered_map>
 #include <unordered_set>
+
+#include "analysis/check.hpp"
 
 namespace bddmin {
 namespace {
@@ -41,13 +42,13 @@ Edge cofactor(Manager& mgr, Edge f, std::uint32_t var, bool value) {
 }
 
 Edge cofactor_cube(Manager& mgr, Edge f, Edge cube) {
-  assert(cube != kZero);
+  BDDMIN_CHECK(cube != kZero);
   while (cube != kOne) {
     const std::uint32_t v = mgr.var_of(cube);
     const Edge hi = mgr.hi_of(cube);
     const Edge lo = mgr.lo_of(cube);
     const bool positive = lo == kZero;
-    assert(positive || hi == kZero);  // each level of a cube kills one child
+    BDDMIN_DCHECK(positive || hi == kZero);  // each level of a cube kills one child
     f = cofactor(mgr, f, v, positive);
     cube = positive ? hi : lo;
   }
@@ -55,7 +56,7 @@ Edge cofactor_cube(Manager& mgr, Edge f, Edge cube) {
 }
 
 Edge exists(Manager& mgr, Edge f, Edge cube) {
-  assert(cube != kZero);
+  BDDMIN_CHECK(cube != kZero);
   if (Manager::is_const(f)) return f;
   cube = skip_cube_above(mgr, cube, mgr.level_of(f));
   if (cube == kOne) return f;
@@ -246,7 +247,7 @@ std::size_t count_nodes_below(const Manager& mgr, Edge f, std::uint32_t level) {
 bool eval(const Manager& mgr, Edge f, const std::vector<bool>& assignment) {
   while (!Manager::is_const(f)) {
     const std::uint32_t v = mgr.var_of(f);
-    assert(v < assignment.size());
+    BDDMIN_DCHECK(v < assignment.size());
     f = assignment[v] ? mgr.hi_of(f) : mgr.lo_of(f);
   }
   return f == kOne;
@@ -254,7 +255,7 @@ bool eval(const Manager& mgr, Edge f, const std::vector<bool>& assignment) {
 
 Edge cube_of(Manager& mgr, std::span<const std::uint32_t> vars,
              const std::vector<bool>& phase) {
-  assert(vars.size() == phase.size());
+  BDDMIN_CHECK(vars.size() == phase.size());
   std::vector<std::size_t> order(vars.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {

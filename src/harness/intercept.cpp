@@ -1,8 +1,10 @@
 #include "harness/intercept.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <stdexcept>
 
+#include "analysis/cover_audit.hpp"
 #include "bdd/bdd.hpp"
 #include "bdd/ops.hpp"
 
@@ -45,8 +47,23 @@ Edge Interceptor::process(Manager& mgr, Edge f, Edge c) {
     const auto start = Clock::now();
     const Edge g = h.run(mgr, f, c);
     const auto stop = Clock::now();
-    if (opts_.validate_covers && !minimize::is_cover(mgr, g, spec)) {
+    if (opts_.audit_level >= analysis::AuditLevel::kCover) {
+      // Contract audit with witness diagnostics instead of the bare check.
+      analysis::AuditReport cover_report;
+      analysis::audit_cover(mgr, f, c, g, h.name, cover_report);
+      if (!cover_report.ok()) throw std::logic_error(cover_report.summary());
+    } else if (opts_.validate_covers && !minimize::is_cover(mgr, g, spec)) {
       throw std::logic_error("heuristic " + h.name + " returned a non-cover");
+    }
+    if (opts_.audit_level >= analysis::AuditLevel::kStructural) {
+      const Bdd g_pin(mgr, g);
+      analysis::AuditOptions aopts;
+      aopts.level = std::min(opts_.audit_level, analysis::AuditLevel::kCache);
+      const analysis::AuditReport report = analysis::audit_manager(mgr, aopts);
+      if (!report.ok()) {
+        throw std::logic_error("audit after heuristic " + h.name + ":\n" +
+                               report.summary());
+      }
     }
     HeuristicOutcome outcome;
     outcome.size = count_nodes(mgr, g);

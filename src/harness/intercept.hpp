@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/audit.hpp"
 #include "fsm/reach.hpp"
 #include "minimize/lower_bound.hpp"
 #include "minimize/registry.hpp"
@@ -40,6 +41,12 @@ struct InterceptorOptions {
   /// Garbage-collect (which flushes the computed caches) before each
   /// heuristic, as the paper does for fair timing.
   bool flush_between = true;
+  /// BddAudit depth applied after every heuristic run (defaults to the
+  /// BDDMIN_AUDIT_LEVEL environment knob, 0 = off).  Levels 1-3 audit the
+  /// manager itself; level 4 additionally replaces the plain cover check
+  /// with the witness-reporting contract audit.  Any finding throws
+  /// std::logic_error carrying the full report.
+  analysis::AuditLevel audit_level = analysis::audit_level_from_env();
 };
 
 /// Collects CallRecords from a traversal.  Plug hook() into

@@ -1,9 +1,10 @@
 #include "minimize/level.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <unordered_set>
+
+#include "analysis/check.hpp"
 
 namespace bddmin::minimize {
 namespace {
@@ -74,7 +75,7 @@ CollectedLevel collect_at_level(Manager& mgr, IncSpec spec, std::uint32_t level,
 }
 
 double path_distance(const CubeVec& a, const CubeVec& b) {
-  assert(a.size() == b.size());
+  BDDMIN_DCHECK(a.size() == b.size());
   const std::size_t k = a.size();
   double d = 0.0;
   for (std::size_t v = 0; v < k; ++v) {
@@ -228,7 +229,7 @@ namespace {
 IncSpec minimize_at_level_once(Manager& mgr, Criterion crit,
                                std::uint32_t level, const LevelOptions& opts,
                                IncSpec spec, LevelStats* stats) {
-  assert(crit == Criterion::kOsm || crit == Criterion::kTsm);
+  BDDMIN_CHECK(crit == Criterion::kOsm || crit == Criterion::kTsm);
   const CollectedLevel collected = collect_at_level(
       mgr, spec, level, opts.max_set_size, opts.only_level_plus_one);
   const std::size_t r = collected.specs.size();

@@ -1,17 +1,17 @@
 #include "minimize/lower_bound.hpp"
 
-#include <cassert>
-
 #include "bdd/cube.hpp"
 #include "bdd/ops.hpp"
 #include "minimize/sibling.hpp"
+
+#include "analysis/check.hpp"
 
 namespace bddmin::minimize {
 
 LowerBoundResult constrain_lower_bound(Manager& mgr, Edge f, Edge c,
                                        std::size_t max_cubes,
                                        bool probe_largest_cube) {
-  assert(c != kZero);
+  BDDMIN_CHECK(c != kZero);
   LowerBoundResult result;
   if (Manager::is_const(f)) {
     result.bound = 1;

@@ -1,6 +1,6 @@
 #include "minimize/matching.hpp"
 
-#include <cassert>
+#include "analysis/check.hpp"
 
 namespace bddmin::minimize {
 
@@ -28,7 +28,7 @@ bool matches(Manager& mgr, Criterion crit, IncSpec a, IncSpec b) {
 }
 
 IncSpec match_result(Manager& mgr, Criterion crit, IncSpec a, IncSpec b) {
-  assert(matches(mgr, crit, a, b));
+  BDDMIN_DCHECK(matches(mgr, crit, a, b));
   switch (crit) {
     case Criterion::kOsdm:
     case Criterion::kOsm:

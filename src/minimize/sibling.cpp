@@ -1,7 +1,8 @@
 #include "minimize/sibling.hpp"
 
-#include <cassert>
 #include <unordered_map>
+
+#include "analysis/check.hpp"
 
 namespace bddmin::minimize {
 namespace {
@@ -21,7 +22,7 @@ struct TopDown {
   PairMemo memo;
 
   Edge run(Edge f, Edge c) {
-    assert(c != kZero);
+    BDDMIN_DCHECK(c != kZero);
     if (c == kOne || Manager::is_const(f)) return f;
     if (const auto it = memo.find(pair_key(f, c)); it != memo.end()) {
       return it->second;
@@ -111,7 +112,7 @@ struct MixedTopDown {
   }
 
   Edge run(Edge f, Edge c) {
-    assert(c != kZero);
+    BDDMIN_DCHECK(c != kZero);
     if (c == kOne || Manager::is_const(f)) return f;
     if (const auto it = memo.find(pair_key(f, c)); it != memo.end()) {
       return it->second;

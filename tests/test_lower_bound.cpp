@@ -101,7 +101,9 @@ TEST(LowerBound, LargestCubeProbeStaysSoundAndCountsItsCube) {
     const LowerBoundResult probed =
         constrain_lower_bound(mgr, f, c, 50, /*probe_largest_cube=*/true);
     const auto exact = exact_minimum(mgr, f, c, 5, 16);
-    if (exact) EXPECT_LE(probed.bound, exact->size);
+    if (exact) {
+      EXPECT_LE(probed.bound, exact->size);
+    }
     const LowerBoundResult plain = constrain_lower_bound(mgr, f, c, 50);
     EXPECT_GE(probed.bound, plain.bound == 0 ? 0 : 1u);
     EXPECT_EQ(probed.cubes_examined,

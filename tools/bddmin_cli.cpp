@@ -15,8 +15,19 @@
 /// bddmin_cli reach <a.kiss>
 ///     Reachable-state count and transition-function minimization
 ///     against the unreachable states.
+///
+/// bddmin_cli audit <circuit.pla> [--level N] [--mutate CLASS] [--sift]
+///     Build every output of the PLA, run all minimization heuristics,
+///     then run the BddAudit passes up to level N (default 4: structure,
+///     ref counts, cache coherence, cover contracts) and print the
+///     report.  --mutate deliberately corrupts the manager first
+///     (complement-flip | unlink | stale-cache | ref-skew | count-skew)
+///     to demonstrate the auditor detects that failure class; the exit
+///     code is 3 when findings are reported.
 /// ```
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <numeric>
@@ -24,6 +35,9 @@
 #include <string>
 #include <vector>
 
+#include "analysis/audit.hpp"
+#include "analysis/cover_audit.hpp"
+#include "analysis/mutate.hpp"
 #include "bdd/bdd.hpp"
 #include "bdd/ops.hpp"
 #include "fsm/equiv.hpp"
@@ -139,7 +153,7 @@ int cmd_equiv(int argc, char** argv) {
   return result.equivalent ? 0 : 2;
 }
 
-int cmd_reach(int argc, char** argv) {
+int cmd_reach(int /*argc*/, char** argv) {
   const fsm::Fsm machine = fsm::parse_kiss2(slurp(argv[0]), argv[0]);
   const fsm::MachineSpec spec = fsm::spec_from_fsm(machine);
   Manager mgr(spec.num_inputs + 2 * spec.num_state_bits);
@@ -172,6 +186,67 @@ int cmd_reach(int argc, char** argv) {
   return 0;
 }
 
+int cmd_audit(int argc, char** argv) {
+  const pla::Pla circuit = pla::parse_pla(slurp(argv[0]), argv[0]);
+  Manager mgr(circuit.num_inputs);
+  std::vector<std::uint32_t> vars(circuit.num_inputs);
+  std::iota(vars.begin(), vars.end(), 0u);
+  const auto specs = pla::output_functions(mgr, circuit, vars);
+
+  auto level = analysis::AuditLevel::kCover;
+  if (const char* raw = flag_value(argc, argv, "--level")) {
+    const int n = std::atoi(raw);
+    level = static_cast<analysis::AuditLevel>(std::clamp(n, 0, 4));
+  }
+  std::printf("%s: %u inputs, %u outputs, audit level %d\n",
+              circuit.name.c_str(), circuit.num_inputs, circuit.num_outputs,
+              static_cast<int>(level));
+
+  // Exercise the manager the way real workloads do: every heuristic over
+  // every output (pinned so GC/sifting see live roots), plus a sift pass
+  // on request — an audit of a busy table is worth more than of an idle
+  // one.
+  const auto set = minimize::all_heuristics();
+  std::vector<Bdd> pinned;
+  for (const auto& spec : specs) {
+    pinned.emplace_back(mgr, spec.f);
+    pinned.emplace_back(mgr, spec.c);
+    for (const auto& h : set) {
+      pinned.emplace_back(mgr, h.run(mgr, spec.f, spec.c));
+    }
+  }
+  if (has_flag(argc, argv, "--sift")) mgr.reorder_sift();
+
+  if (const char* name = flag_value(argc, argv, "--mutate")) {
+    const analysis::Mutation m = analysis::mutation_from_name(name);
+    const analysis::MutationResult injected = analysis::inject(mgr, m);
+    if (!injected.applied) {
+      std::fprintf(stderr, "mutation %s found no eligible target\n", name);
+      return 1;
+    }
+    std::printf("injected: %s\n", injected.description.c_str());
+  }
+
+  analysis::AuditOptions opts;
+  opts.level = level;
+  analysis::AuditReport report = analysis::audit_manager(mgr, opts);
+  if (level >= analysis::AuditLevel::kCover) {
+    for (std::size_t j = 0; j < specs.size(); ++j) {
+      const std::string label_prefix =
+          j < circuit.output_labels.size() ? circuit.output_labels[j]
+                                           : "o" + std::to_string(j);
+      analysis::AuditReport covers = analysis::audit_heuristic_contracts(
+          mgr, specs[j].f, specs[j].c, set);
+      for (auto& finding : covers.findings) {
+        report.add(finding.category, label_prefix + ": " + finding.message);
+      }
+      report.covers_checked += covers.covers_checked;
+    }
+  }
+  std::printf("%s", report.summary().c_str());
+  return report.ok() ? 0 : 3;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -185,6 +260,9 @@ int main(int argc, char** argv) {
     if (argc >= 3 && std::strcmp(argv[1], "reach") == 0) {
       return cmd_reach(argc - 2, argv + 2);
     }
+    if (argc >= 3 && std::strcmp(argv[1], "audit") == 0) {
+      return cmd_audit(argc - 2, argv + 2);
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
@@ -193,6 +271,8 @@ int main(int argc, char** argv) {
                "usage:\n"
                "  bddmin_cli minimize <circuit.pla> [--heuristic NAME] [--sift]\n"
                "  bddmin_cli equiv <a.kiss> <b.kiss> [--stats]\n"
-               "  bddmin_cli reach <a.kiss>\n");
+               "  bddmin_cli reach <a.kiss>\n"
+               "  bddmin_cli audit <circuit.pla> [--level N] [--mutate CLASS]"
+               " [--sift]\n");
   return 1;
 }
