@@ -1,0 +1,24 @@
+#include "engine/collect.hpp"
+
+#include <utility>
+
+#include "minimize/sibling.hpp"
+
+namespace bddmin::engine {
+
+JobCollector::JobCollector(std::string label) : label_(std::move(label)) {}
+
+fsm::MinimizeHook JobCollector::hook() {
+  return [this](Manager& mgr, Edge f, Edge c) {
+    const minimize::IncSpec spec{f, c};
+    if (minimize::classify_call(mgr, spec).filtered()) {
+      ++filtered_;
+      return c == kZero ? f : minimize::constrain(mgr, f, c);
+    }
+    jobs_.push_back(
+        make_job(mgr, label_ + "/call" + std::to_string(jobs_.size()), spec));
+    return minimize::constrain(mgr, f, c);
+  };
+}
+
+}  // namespace bddmin::engine

@@ -1,0 +1,44 @@
+/// \file collect.hpp
+/// \brief Harvest batch jobs from a live traversal.
+///
+/// The Table 3/4 experiments intercept every minimization call of an FSM
+/// traversal and run all heuristics inline.  The batch engine instead
+/// wants those calls as a *job set* it can shard across workers, so the
+/// collector plugs into the same MinimizeHook seam, exports each
+/// unfiltered [f, c] out of the traversal's manager (engine/job.hpp), and
+/// hands the traversal constrain's cover — exactly what verify_fsm would
+/// have used, leaving the traversal's trajectory unchanged.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "engine/job.hpp"
+#include "fsm/reach.hpp"
+
+namespace bddmin::engine {
+
+class JobCollector {
+ public:
+  /// \p label prefixes job names: "<label>/call<k>".
+  explicit JobCollector(std::string label = "call");
+
+  /// Plug into ReachOptions/EquivOptions::minimize.
+  [[nodiscard]] fsm::MinimizeHook hook();
+
+  /// Collected jobs in call order (Section 4.1.2-filtered calls excluded).
+  [[nodiscard]] const std::vector<Job>& jobs() const noexcept { return jobs_; }
+  [[nodiscard]] std::vector<Job> take() { return std::move(jobs_); }
+  [[nodiscard]] std::size_t filtered_calls() const noexcept { return filtered_; }
+
+  /// Rename the prefix for subsequent calls (e.g. per traversal phase).
+  void set_label(std::string label) { label_ = std::move(label); }
+
+ private:
+  std::string label_;
+  std::vector<Job> jobs_;
+  std::size_t filtered_ = 0;
+};
+
+}  // namespace bddmin::engine

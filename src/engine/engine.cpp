@@ -1,0 +1,249 @@
+#include "engine/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "analysis/cover_audit.hpp"
+#include "bdd/bdd.hpp"
+#include "bdd/ops.hpp"
+#include "engine/queue.hpp"
+#include "harness/csv.hpp"
+#include "minimize/lower_bound.hpp"
+
+namespace bddmin::engine {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Submission-order result sink.  Each slot is written exactly once, but
+/// the mutex also guards the delivered counter and makes the sink safe to
+/// observe (e.g. for progress) while workers run.
+class ResultSink {
+ public:
+  explicit ResultSink(std::size_t num_jobs) : slots_(num_jobs) {}
+
+  void deliver(std::size_t index, JobOutcome outcome) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    slots_[index] = std::move(outcome);
+  }
+
+  [[nodiscard]] std::vector<JobOutcome> take() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return std::move(slots_);
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<JobOutcome> slots_;
+};
+
+struct WorkerContext {
+  const EngineOptions* opts;
+  const std::vector<minimize::Heuristic>* heuristics;
+  unsigned worker;
+};
+
+[[nodiscard]] bool cancelled(const EngineOptions& opts) {
+  return opts.cancel && opts.cancel->load(std::memory_order_relaxed);
+}
+
+JobOutcome process_job(const Job& job, const WorkerContext& ctx) {
+  const EngineOptions& opts = *ctx.opts;
+  const std::vector<minimize::Heuristic>& heuristics = *ctx.heuristics;
+  const auto job_start = Clock::now();
+
+  JobOutcome outcome;
+  outcome.name = job.name;
+  outcome.num_vars = job.num_vars;
+  outcome.worker = ctx.worker;
+  outcome.results.resize(heuristics.size());
+  if (cancelled(opts)) {
+    outcome.status = JobStatus::kCancelled;
+    return outcome;
+  }
+
+  Manager mgr(std::max(job.num_vars, 1u), opts.cache_log2);
+  minimize::IncSpec spec;
+  try {
+    spec = decode_job(mgr, job);
+  } catch (const std::exception& e) {
+    outcome.status = JobStatus::kError;
+    outcome.error = std::string("decode: ") + e.what();
+    return outcome;
+  }
+  const Bdd f_pin(mgr, spec.f);
+  const Bdd c_pin(mgr, spec.c);
+  outcome.f_size = count_nodes(mgr, spec.f);
+  outcome.c_size = count_nodes(mgr, spec.c);
+  outcome.c_onset = minimize::c_onset_fraction(mgr, spec);
+
+  // Covers stay pinned so the end-of-job audit sees live roots.
+  std::vector<Bdd> covers;
+  covers.reserve(heuristics.size());
+  outcome.min_size = SIZE_MAX;
+  for (std::size_t h = 0; h < heuristics.size(); ++h) {
+    if (opts.job_timeout_seconds > 0.0 &&
+        std::chrono::duration<double>(Clock::now() - job_start).count() >=
+            opts.job_timeout_seconds) {
+      outcome.status = JobStatus::kTimeout;
+      break;
+    }
+    if (opts.flush_between) mgr.garbage_collect();
+    const auto start = Clock::now();
+    Edge g{};
+    try {
+      g = heuristics[h].run(mgr, spec.f, spec.c);
+    } catch (const std::exception& e) {
+      outcome.status = JobStatus::kError;
+      outcome.error = heuristics[h].name + ": " + e.what();
+      break;
+    }
+    const auto stop = Clock::now();
+    covers.emplace_back(mgr, g);
+    if (opts.audit_level >= analysis::AuditLevel::kCover) {
+      analysis::AuditReport cover_report;
+      analysis::audit_cover(mgr, spec.f, spec.c, g, heuristics[h].name,
+                            cover_report);
+      if (!cover_report.ok()) {
+        outcome.status = JobStatus::kError;
+        outcome.error = cover_report.findings.front().message;
+        outcome.audit_findings += cover_report.findings.size();
+        break;
+      }
+    } else if (opts.validate_covers && !minimize::is_cover(mgr, g, spec)) {
+      outcome.status = JobStatus::kError;
+      outcome.error = heuristics[h].name + " returned a non-cover";
+      break;
+    }
+    outcome.results[h].size = count_nodes(mgr, g);
+    outcome.results[h].seconds =
+        std::chrono::duration<double>(stop - start).count();
+    outcome.min_size = std::min(outcome.min_size, outcome.results[h].size);
+  }
+  if (outcome.min_size == SIZE_MAX) outcome.min_size = 0;
+
+  if (outcome.status == JobStatus::kOk &&
+      opts.audit_level >= analysis::AuditLevel::kStructural) {
+    analysis::AuditOptions aopts;
+    aopts.level = std::min(opts.audit_level, analysis::AuditLevel::kCache);
+    const analysis::AuditReport report = analysis::audit_manager(mgr, aopts);
+    if (!report.ok()) {
+      outcome.status = JobStatus::kError;
+      outcome.audit_findings += report.findings.size() + report.suppressed;
+      outcome.error = "audit: " + report.findings.front().message;
+    }
+  }
+  if (outcome.status == JobStatus::kOk && opts.lower_bound_cubes > 0) {
+    const minimize::LowerBoundResult lb = minimize::constrain_lower_bound(
+        mgr, spec.f, spec.c, opts.lower_bound_cubes);
+    outcome.lower_bound = lb.bound;
+  }
+  outcome.seconds =
+      std::chrono::duration<double>(Clock::now() - job_start).count();
+  return outcome;
+}
+
+void worker_loop(WorkStealingQueue& queue, std::span<const Job> jobs,
+                 ResultSink& sink, const WorkerContext& ctx) {
+  std::size_t index = 0;
+  while (queue.try_pop(ctx.worker, &index)) {
+    sink.deliver(index, process_job(jobs[index], ctx));
+  }
+}
+
+}  // namespace
+
+const char* job_status_name(JobStatus s) noexcept {
+  switch (s) {
+    case JobStatus::kOk: return "ok";
+    case JobStatus::kTimeout: return "timeout";
+    case JobStatus::kCancelled: return "cancelled";
+    case JobStatus::kError: return "error";
+  }
+  return "?";
+}
+
+std::size_t BatchReport::count(JobStatus s) const noexcept {
+  std::size_t n = 0;
+  for (const JobOutcome& o : outcomes) {
+    if (o.status == s) ++n;
+  }
+  return n;
+}
+
+BatchReport run_batch(std::span<const Job> jobs, const EngineOptions& opts) {
+  std::vector<minimize::Heuristic> heuristics = opts.heuristics;
+  if (heuristics.empty()) {
+    heuristics = minimize::all_heuristics();
+    if (!opts.heuristic.empty()) {
+      heuristics = {minimize::heuristic_by_name(heuristics, opts.heuristic)};
+    }
+  }
+
+  unsigned threads =
+      opts.num_threads ? opts.num_threads
+                       : std::max(1u, std::thread::hardware_concurrency());
+  threads = std::max(1u, std::min<unsigned>(
+                             threads, std::max<std::size_t>(jobs.size(), 1)));
+
+  BatchReport report;
+  report.num_threads = threads;
+  for (const minimize::Heuristic& h : heuristics) report.names.push_back(h.name);
+
+  const auto start = Clock::now();
+  WorkStealingQueue queue(threads);
+  for (std::size_t i = 0; i < jobs.size(); ++i) queue.push(i % threads, i);
+  ResultSink sink(jobs.size());
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned w = 0; w < threads; ++w) {
+    pool.emplace_back([&, w] {
+      const WorkerContext ctx{&opts, &heuristics, w};
+      worker_loop(queue, jobs, sink, ctx);
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  report.outcomes = sink.take();
+  report.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  return report;
+}
+
+std::string report_csv(const BatchReport& report, bool include_timings) {
+  std::ostringstream os;
+  os << "job,name,vars,status,f_size,c_size,c_onset,min,lower_bound,"
+        "audit_findings,error";
+  for (const std::string& name : report.names) os << ",size_" << name;
+  if (include_timings) {
+    for (const std::string& name : report.names) os << ",sec_" << name;
+    os << ",job_seconds,worker";
+  }
+  os << "\n";
+  char buf[32];
+  for (std::size_t i = 0; i < report.outcomes.size(); ++i) {
+    const JobOutcome& o = report.outcomes[i];
+    std::snprintf(buf, sizeof buf, "%.6f", o.c_onset);
+    os << i << ',' << harness::csv_field(o.name) << ',' << o.num_vars << ','
+       << job_status_name(o.status) << ',' << o.f_size << ','
+       << o.c_size << ',' << buf << ',' << o.min_size << ',' << o.lower_bound
+       << ',' << o.audit_findings << ',' << harness::csv_field(o.error);
+    for (const HeuristicResult& r : o.results) os << ',' << r.size;
+    if (include_timings) {
+      for (const HeuristicResult& r : o.results) {
+        std::snprintf(buf, sizeof buf, "%.6f", r.seconds);
+        os << ',' << buf;
+      }
+      std::snprintf(buf, sizeof buf, "%.6f", o.seconds);
+      os << ',' << buf << ',' << o.worker;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace bddmin::engine

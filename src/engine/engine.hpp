@@ -1,0 +1,113 @@
+/// \file engine.hpp
+/// \brief Thread-pool batch minimization engine.
+///
+/// The paper minimizes one [f, c] pair at a time; realistic clients
+/// (network-wide don't-care sweeps, the Table 1-4 experiments, FSM
+/// traversals) present hundreds of independent instances.  The engine
+/// shards a job set across N workers, each owning a *private* Manager —
+/// the BDD core stays single-threaded internally — and funnels outcomes
+/// through a lock-guarded sink indexed by submission order.
+///
+/// Determinism contract: every heuristic is a pure function of (f, c) and
+/// each job is decoded into a fresh manager, so all sizes, covers, audit
+/// verdicts and statuses are independent of worker count and
+/// interleaving.  `report_csv(report)` therefore produces byte-identical
+/// text for any thread count, **provided** no per-job timeout fired and
+/// no cancellation was requested (both are wall-clock events).  Timings
+/// are recorded but only emitted with `include_timings = true`, which is
+/// explicitly outside the deterministic contract.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/audit.hpp"
+#include "engine/job.hpp"
+#include "minimize/registry.hpp"
+
+namespace bddmin::engine {
+
+enum class JobStatus : std::uint8_t {
+  kOk = 0,     ///< all heuristics ran and validated
+  kTimeout,    ///< per-job deadline expired between heuristics
+  kCancelled,  ///< batch cancellation observed before the job started
+  kError,      ///< decode failure, thrown BDDMIN_CHECK, bad cover or audit finding
+};
+
+[[nodiscard]] const char* job_status_name(JobStatus s) noexcept;
+
+struct EngineOptions {
+  /// Worker count; 0 means std::thread::hardware_concurrency() (min 1).
+  unsigned num_threads = 0;
+  /// Run only this heuristic (registry name); empty = all_heuristics().
+  std::string heuristic;
+  /// Explicit heuristic set; overrides `heuristic` when non-empty.
+  std::vector<minimize::Heuristic> heuristics;
+  /// Per-job wall-clock budget, checked between heuristics (cooperative —
+  /// a single heuristic call is never interrupted).  0 disables.
+  double job_timeout_seconds = 0.0;
+  /// BddAudit depth after each job (1-3 audit the worker's manager;
+  /// level 4 additionally replaces the plain cover check with the
+  /// witness-reporting contract audit).  Findings turn the job kError.
+  analysis::AuditLevel audit_level = analysis::AuditLevel::kOff;
+  /// Verify each cover against Definition 2 (cheap insurance).
+  bool validate_covers = true;
+  /// Theorem 7 lower-bound cube budget per job (0 disables).
+  std::size_t lower_bound_cubes = 0;
+  /// Garbage-collect (flushing caches) before each heuristic, as the
+  /// paper does for fair timing.
+  bool flush_between = true;
+  /// log2 of each worker manager's computed-cache slots.
+  unsigned cache_log2 = 14;
+  /// Optional cancellation token shared with the caller: once set, every
+  /// not-yet-started job completes immediately as kCancelled (jobs are
+  /// atomic — a started job always runs to its own completion).
+  std::shared_ptr<std::atomic<bool>> cancel;
+};
+
+struct HeuristicResult {
+  std::size_t size = 0;   ///< cover node count incl. terminal (0 = not run)
+  double seconds = 0.0;   ///< wall time; non-deterministic
+};
+
+struct JobOutcome {
+  std::string name;
+  unsigned num_vars = 0;
+  JobStatus status = JobStatus::kOk;
+  std::string error;                     ///< diagnostic for kError
+  std::size_t f_size = 0;
+  std::size_t c_size = 0;
+  double c_onset = 0.0;                  ///< care onset fraction in [0, 1]
+  std::vector<HeuristicResult> results;  ///< parallel to BatchReport::names
+  std::size_t min_size = 0;              ///< best over heuristics that ran
+  std::size_t lower_bound = 0;           ///< Theorem 7 bound (opt-in)
+  std::size_t audit_findings = 0;
+  unsigned worker = 0;                   ///< informational; non-deterministic
+  double seconds = 0.0;                  ///< total job wall time
+};
+
+struct BatchReport {
+  std::vector<std::string> names;     ///< heuristic names (column order)
+  std::vector<JobOutcome> outcomes;   ///< submission order, always complete
+  unsigned num_threads = 1;
+  double wall_seconds = 0.0;
+
+  [[nodiscard]] std::size_t count(JobStatus s) const noexcept;
+};
+
+/// Run the whole batch; blocks until every job has an outcome.
+[[nodiscard]] BatchReport run_batch(std::span<const Job> jobs,
+                                    const EngineOptions& opts = {});
+
+/// CSV of the report, one row per job in submission order.  The default
+/// column set is deterministic across thread counts; `include_timings`
+/// appends per-heuristic seconds, job seconds and the worker id, which
+/// are not.
+[[nodiscard]] std::string report_csv(const BatchReport& report,
+                                     bool include_timings = false);
+
+}  // namespace bddmin::engine

@@ -1,0 +1,101 @@
+#include "engine/job.hpp"
+
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+
+#include "bdd/io.hpp"
+#include "bdd/truth_table.hpp"
+#include "workload/instances.hpp"
+
+namespace bddmin::engine {
+
+Job make_job(Manager& mgr, std::string name, minimize::IncSpec spec) {
+  Job job;
+  job.name = std::move(name);
+  job.num_vars = mgr.num_vars();
+  if (job.num_vars <= kMaxTtVars) {
+    job.kind = PayloadKind::kTruthTable;
+    job.f_tt = to_tt(mgr, spec.f, job.num_vars);
+    job.c_tt = to_tt(mgr, spec.c, job.num_vars);
+  } else {
+    job.kind = PayloadKind::kForest;
+    const Edge roots[] = {spec.f, spec.c};
+    job.forest = serialize(mgr, roots);
+  }
+  return job;
+}
+
+Job make_tt_job(std::string name, std::uint64_t f_tt, std::uint64_t c_tt,
+                unsigned n) {
+  if (n > kMaxTtVars) {
+    throw std::invalid_argument("make_tt_job: more than kMaxTtVars variables");
+  }
+  Job job;
+  job.name = std::move(name);
+  job.num_vars = n;
+  job.kind = PayloadKind::kTruthTable;
+  job.f_tt = f_tt & tt_mask(n);
+  job.c_tt = c_tt & tt_mask(n);
+  return job;
+}
+
+minimize::IncSpec decode_job(Manager& mgr, const Job& job) {
+  if (mgr.num_vars() < job.num_vars) {
+    throw std::invalid_argument("decode_job: manager has too few variables");
+  }
+  if (job.kind == PayloadKind::kTruthTable) {
+    if (job.num_vars > kMaxTtVars) {
+      throw std::invalid_argument("decode_job: truth-table payload too wide");
+    }
+    return {from_tt(mgr, job.f_tt, job.num_vars),
+            from_tt(mgr, job.c_tt, job.num_vars)};
+  }
+  const std::vector<Edge> roots = deserialize(mgr, job.forest);
+  if (roots.size() != 2) {
+    throw std::invalid_argument("decode_job: payload must have roots {f, c}");
+  }
+  return {roots[0], roots[1]};
+}
+
+std::vector<Job> random_jobs(unsigned count, unsigned num_vars,
+                             double c_density, std::uint64_t seed) {
+  std::vector<Job> jobs;
+  jobs.reserve(count);
+  Manager mgr(num_vars, /*cache_log2=*/14);
+  for (unsigned k = 0; k < count; ++k) {
+    const std::uint64_t job_seed = seed + k;
+    const minimize::IncSpec spec =
+        workload::random_instance(mgr, num_vars, c_density, job_seed);
+    jobs.push_back(make_job(
+        mgr, "rand" + std::to_string(k) + "_s" + std::to_string(job_seed),
+        spec));
+    // The scratch manager only ferries one instance at a time.
+    mgr.garbage_collect();
+  }
+  return jobs;
+}
+
+std::vector<Job> pla_jobs(const pla::Pla& pla) {
+  Manager mgr(pla.num_inputs, /*cache_log2=*/14);
+  std::vector<std::uint32_t> vars(pla.num_inputs);
+  std::iota(vars.begin(), vars.end(), 0u);
+  const std::vector<minimize::IncSpec> specs =
+      pla::output_functions(mgr, pla, vars);
+  std::vector<Job> jobs;
+  jobs.reserve(specs.size());
+  for (unsigned j = 0; j < specs.size(); ++j) {
+    std::string name = pla.name;
+    name += '/';
+    if (j < pla.output_labels.size()) {
+      name += pla.output_labels[j];
+    } else {
+      name += 'o';
+      name += std::to_string(j);
+    }
+    jobs.push_back(make_job(mgr, std::move(name), specs[j]));
+  }
+  return jobs;
+}
+
+}  // namespace bddmin::engine

@@ -1,0 +1,66 @@
+/// \file job.hpp
+/// \brief Batch-minimization job model: one EBM instance [f, c] packaged
+/// so it can cross Manager boundaries.
+///
+/// A Manager is strictly single-threaded, so the batch engine gives every
+/// worker a private manager and ships instances between managers as plain
+/// data: either the order-independent forest text of `bdd/io.hpp`, or —
+/// for supports that fit a 64-bit truth table — the two truth tables
+/// directly.  Decoding rebuilds the pair through ITE, so a job encoded
+/// under one variable order is valid in a worker with any order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "minimize/incspec.hpp"
+#include "pla/pla.hpp"
+
+namespace bddmin::engine {
+
+/// How the [f, c] pair is carried.
+enum class PayloadKind : std::uint8_t {
+  kForest,      ///< bdd/io serialized forest with roots {f, c}
+  kTruthTable,  ///< 64-bit truth tables over num_vars <= kMaxTtVars
+};
+
+/// One minimization job.  Plain data; safe to copy across threads.
+struct Job {
+  std::string name;        ///< stable label reported in the CSV
+  unsigned num_vars = 0;   ///< variables the instance is defined over
+  PayloadKind kind = PayloadKind::kTruthTable;
+  std::string forest;      ///< kForest payload (serialize(mgr, {f, c}))
+  std::uint64_t f_tt = 0;  ///< kTruthTable payload
+  std::uint64_t c_tt = 0;  ///< kTruthTable payload
+};
+
+/// Export [f, c] from \p mgr as a job.  Instances over at most kMaxTtVars
+/// variables travel as truth tables, larger ones as forest text.
+[[nodiscard]] Job make_job(Manager& mgr, std::string name,
+                           minimize::IncSpec spec);
+
+/// Truth-table job without a source manager (small supports only; throws
+/// std::invalid_argument when n exceeds kMaxTtVars).
+[[nodiscard]] Job make_tt_job(std::string name, std::uint64_t f_tt,
+                              std::uint64_t c_tt, unsigned n);
+
+/// Rebuild the job's [f, c] inside \p mgr, which must have at least
+/// job.num_vars variables.  Throws std::invalid_argument on a malformed
+/// payload.
+[[nodiscard]] minimize::IncSpec decode_job(Manager& mgr, const Job& job);
+
+/// \p count random instances over \p num_vars variables with target care
+/// density \p c_density, reproducible end-to-end from \p seed: job k is
+/// generated from the derived seed `seed + k` and named
+/// "rand<k>_s<seed+k>", so any single job can be regenerated from its
+/// reported name alone.
+[[nodiscard]] std::vector<Job> random_jobs(unsigned count, unsigned num_vars,
+                                           double c_density,
+                                           std::uint64_t seed);
+
+/// One job per PLA output column ([f, c] as in pla::output_function),
+/// named "<pla.name>/<output label>".
+[[nodiscard]] std::vector<Job> pla_jobs(const pla::Pla& pla);
+
+}  // namespace bddmin::engine

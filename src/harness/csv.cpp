@@ -23,6 +23,22 @@ std::string records_to_csv(const std::vector<std::string>& names,
   return os.str();
 }
 
+std::string csv_field(const std::string& value) {
+  if (value.find_first_of(",\"\n\r") == std::string::npos) return value;
+  std::string out = "\"";
+  for (const char ch : value) {
+    if (ch == '"') {
+      out += "\"\"";
+    } else if (ch == '\n' || ch == '\r') {
+      out += ' ';
+    } else {
+      out += ch;
+    }
+  }
+  out += '"';
+  return out;
+}
+
 bool write_text_file(const std::string& path, const std::string& text) {
   std::ofstream out(path, std::ios::trunc);
   if (!out) return false;

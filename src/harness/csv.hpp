@@ -14,6 +14,11 @@ namespace bddmin::harness {
 [[nodiscard]] std::string records_to_csv(const std::vector<std::string>& names,
                                          const std::vector<CallRecord>& records);
 
+/// RFC-4180 field quoting: values containing a comma, quote or newline
+/// are wrapped in double quotes (inner quotes doubled, newlines folded to
+/// spaces so a row stays one physical line); plain values pass through.
+[[nodiscard]] std::string csv_field(const std::string& value);
+
 /// Write \p text to \p path; returns false (and leaves no partial file
 /// guarantees) on I/O failure.
 bool write_text_file(const std::string& path, const std::string& text);

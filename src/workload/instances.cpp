@@ -67,11 +67,23 @@ Edge random_function(Manager& mgr, unsigned num_vars, double density,
   return carve ? !f : f;
 }
 
+Edge random_function(Manager& mgr, unsigned num_vars, double density,
+                     std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  return random_function(mgr, num_vars, density, rng);
+}
+
 minimize::IncSpec random_instance(Manager& mgr, unsigned num_vars,
                                   double c_density, std::mt19937_64& rng) {
   const Edge f = random_function(mgr, num_vars, 0.5, rng);
   const Edge c = random_function(mgr, num_vars, c_density, rng);
   return {f, c};
+}
+
+minimize::IncSpec random_instance(Manager& mgr, unsigned num_vars,
+                                  double c_density, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  return random_instance(mgr, num_vars, c_density, rng);
 }
 
 }  // namespace bddmin::workload

@@ -22,10 +22,22 @@ namespace bddmin::workload {
 [[nodiscard]] Edge random_function(Manager& mgr, unsigned num_vars, double density,
                                    std::mt19937_64& rng);
 
+/// Seeded overload: the whole function is determined by \p seed alone, so
+/// a failing instance is reproducible from one reported number.
+[[nodiscard]] Edge random_function(Manager& mgr, unsigned num_vars, double density,
+                                   std::uint64_t seed);
+
 /// Random EBM instance with a target care-onset density — used to
 /// populate the paper's c_onset_size buckets directly.
 [[nodiscard]] minimize::IncSpec random_instance(Manager& mgr, unsigned num_vars,
                                                 double c_density,
                                                 std::mt19937_64& rng);
+
+/// Seeded overload: the instance is a pure function of \p seed (f and c
+/// drawn from one generator seeded with it), the end-to-end plumbing the
+/// randomized property suite and `bddmin_cli batch --seed` rely on.
+[[nodiscard]] minimize::IncSpec random_instance(Manager& mgr, unsigned num_vars,
+                                                double c_density,
+                                                std::uint64_t seed);
 
 }  // namespace bddmin::workload

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdlib>
 #include <random>
 
 #include "bdd/ops.hpp"
@@ -57,6 +59,49 @@ TEST(Exact, MatchesBruteForceOnThreeVariables) {
       brute = std::min(brute, tt_bdd_size(g, 3));
     }
     EXPECT_EQ(result->size, brute);
+  }
+}
+
+TEST(Exact, MatchesBruteForceOnEveryThreeVariablePair) {
+  // The complete 3-variable space.  exact_minimum_tt(f, c) can only
+  // depend on (f·c, c) — off-care bits of f are irrelevant — so
+  // iterating c over all 256 care sets and the onset over all submasks
+  // of c covers every semantically distinct [f, c] pair: 3^8 = 6561
+  // instances.  Each is cross-checked against brute-force enumeration
+  // of all 256 candidate covers.
+  std::array<std::size_t, 256> size_of{};
+  for (std::uint64_t g = 0; g < 256; ++g) {
+    size_of[g] = tt_bdd_size(g, 3);
+  }
+  const char* quick = std::getenv("BDDMIN_QUICK");
+  const std::uint64_t stride =
+      (quick != nullptr && quick[0] == '1') ? 7 : 1;  // coprime with 256
+  for (std::uint64_t c_tt = 0; c_tt < 256; c_tt += stride) {
+    // Classic submask walk: onset ranges over every subset of the care set.
+    std::uint64_t onset = c_tt;
+    while (true) {
+      const auto result = exact_minimum_tt(onset, c_tt, 3);
+      ASSERT_TRUE(result.has_value());
+      // Witness really is a cover of the reported size.
+      ASSERT_EQ((result->cover_tt ^ onset) & c_tt, 0u)
+          << "onset=" << onset << " c=" << c_tt;
+      ASSERT_EQ(size_of[result->cover_tt], result->size)
+          << "onset=" << onset << " c=" << c_tt;
+      std::size_t brute = SIZE_MAX;
+      for (std::uint64_t g = 0; g < 256; ++g) {
+        if (((g ^ onset) & c_tt) != 0) continue;
+        brute = std::min(brute, size_of[g]);
+      }
+      ASSERT_EQ(result->size, brute) << "onset=" << onset << " c=" << c_tt;
+      // Off-care onset bits must not change the answer.
+      const std::uint64_t noisy = onset | (~c_tt & 0xA5ull);
+      const auto renamed = exact_minimum_tt(noisy, c_tt, 3);
+      ASSERT_TRUE(renamed.has_value());
+      ASSERT_EQ(renamed->size, result->size)
+          << "onset=" << onset << " c=" << c_tt;
+      if (onset == 0) break;
+      onset = (onset - 1) & c_tt;
+    }
   }
 }
 

@@ -24,6 +24,18 @@
 ///     (complement-flip | unlink | stale-cache | ref-skew | count-skew)
 ///     to demonstrate the auditor detects that failure class; the exit
 ///     code is 3 when findings are reported.
+///
+/// bddmin_cli batch [--pla FILE] [--jobs N] [--vars K] [--density D]
+///                  [--seed S] [--threads T] [--heuristic NAME]
+///                  [--audit-level L] [--timeout-ms M] [--lower-bound]
+///                  [--csv PATH] [--timings]
+///     Shard a set of minimization jobs across a worker pool (each worker
+///     owns a private manager) and print the per-status summary plus a
+///     submission-order CSV report.  Jobs come from the PLA's output
+///     columns, or from seeded random instances (reproducible end to end
+///     from --seed; job k uses seed S+k).  The CSV is byte-identical for
+///     any --threads value; --timings appends the non-deterministic
+///     timing columns.  Exit code is 3 when any job failed.
 /// ```
 #include <algorithm>
 #include <cstdio>
@@ -40,8 +52,10 @@
 #include "analysis/mutate.hpp"
 #include "bdd/bdd.hpp"
 #include "bdd/ops.hpp"
+#include "engine/engine.hpp"
 #include "fsm/equiv.hpp"
 #include "fsm/kiss.hpp"
+#include "harness/csv.hpp"
 #include "harness/intercept.hpp"
 #include "harness/render.hpp"
 #include "minimize/registry.hpp"
@@ -247,6 +261,66 @@ int cmd_audit(int argc, char** argv) {
   return report.ok() ? 0 : 3;
 }
 
+int cmd_batch(int argc, char** argv) {
+  const auto int_flag = [&](const char* flag, long fallback) {
+    const char* raw = flag_value(argc, argv, flag);
+    return raw ? std::atol(raw) : fallback;
+  };
+
+  std::vector<engine::Job> jobs;
+  if (const char* path = flag_value(argc, argv, "--pla")) {
+    jobs = engine::pla_jobs(pla::parse_pla(slurp(path), path));
+  } else {
+    const unsigned count = static_cast<unsigned>(int_flag("--jobs", 32));
+    const unsigned vars = static_cast<unsigned>(int_flag("--vars", 8));
+    const std::uint64_t seed =
+        static_cast<std::uint64_t>(int_flag("--seed", 1));
+    const char* draw = flag_value(argc, argv, "--density");
+    const double density = draw ? std::atof(draw) : 0.3;
+    jobs = engine::random_jobs(count, vars, density, seed);
+  }
+
+  engine::EngineOptions opts;
+  opts.num_threads = static_cast<unsigned>(int_flag("--threads", 0));
+  if (const char* name = flag_value(argc, argv, "--heuristic")) {
+    opts.heuristic = name;
+  }
+  opts.audit_level = static_cast<analysis::AuditLevel>(
+      std::clamp<long>(int_flag("--audit-level", 0), 0, 4));
+  opts.job_timeout_seconds = int_flag("--timeout-ms", 0) / 1000.0;
+  if (has_flag(argc, argv, "--lower-bound")) opts.lower_bound_cubes = 1000;
+
+  const engine::BatchReport report = engine::run_batch(jobs, opts);
+  std::size_t total_f = 0;
+  std::size_t total_min = 0;
+  for (const engine::JobOutcome& o : report.outcomes) {
+    total_f += o.f_size;
+    total_min += o.min_size;
+  }
+  std::printf("batch: %zu jobs, %zu heuristics, %u threads, %.3fs\n",
+              report.outcomes.size(), report.names.size(),
+              report.num_threads, report.wall_seconds);
+  std::printf("status: ok=%zu timeout=%zu cancelled=%zu error=%zu\n",
+              report.count(engine::JobStatus::kOk),
+              report.count(engine::JobStatus::kTimeout),
+              report.count(engine::JobStatus::kCancelled),
+              report.count(engine::JobStatus::kError));
+  std::printf("nodes: f=%zu best=%zu\n", total_f, total_min);
+  const std::string csv =
+      engine::report_csv(report, has_flag(argc, argv, "--timings"));
+  if (const char* path = flag_value(argc, argv, "--csv")) {
+    if (!harness::write_text_file(path, csv)) {
+      std::fprintf(stderr, "cannot write %s\n", path);
+      return 1;
+    }
+    std::printf("report written to %s (%zu rows)\n", path,
+                report.outcomes.size());
+  } else {
+    std::printf("%s", csv.c_str());
+  }
+  return report.count(engine::JobStatus::kOk) == report.outcomes.size() ? 0 : 3;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -263,6 +337,9 @@ int main(int argc, char** argv) {
     if (argc >= 3 && std::strcmp(argv[1], "audit") == 0) {
       return cmd_audit(argc - 2, argv + 2);
     }
+    if (argc >= 2 && std::strcmp(argv[1], "batch") == 0) {
+      return cmd_batch(argc - 2, argv + 2);
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
@@ -273,6 +350,12 @@ int main(int argc, char** argv) {
                "  bddmin_cli equiv <a.kiss> <b.kiss> [--stats]\n"
                "  bddmin_cli reach <a.kiss>\n"
                "  bddmin_cli audit <circuit.pla> [--level N] [--mutate CLASS]"
-               " [--sift]\n");
+               " [--sift]\n"
+               "  bddmin_cli batch [--pla FILE] [--jobs N] [--vars K]"
+               " [--density D] [--seed S]\n"
+               "                   [--threads T] [--heuristic NAME]"
+               " [--audit-level L]\n"
+               "                   [--timeout-ms M] [--lower-bound]"
+               " [--csv PATH] [--timings]\n");
   return 1;
 }
