@@ -11,6 +11,7 @@
 /// unconditionally — the CSV never depends on the thread count.
 ///
 /// Exit status: 0 on success, 1 on CSV divergence or failed jobs.
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -66,8 +67,8 @@ int run() {
   int failures = 0;
   std::string baseline;
   double base_seconds = 0.0;
-  std::printf("# %7s %10s %9s %4s %9s %9s\n", "threads", "wall[s]", "speedup",
-              "ok", "timeout", "error");
+  std::printf("# %7s %10s %9s %4s %9s %9s %10s\n", "threads", "wall[s]",
+              "speedup", "ok", "timeout", "error", "peak_live");
   for (const unsigned threads : {1u, 2u, 4u, 8u}) {
     engine::EngineOptions opts;
     opts.num_threads = threads;
@@ -75,6 +76,12 @@ int run() {
     const engine::BatchReport report = engine::run_batch(jobs, opts);
     const std::size_t ok = report.count(engine::JobStatus::kOk);
     if (ok != jobs.size()) ++failures;
+    // Worst single-job live-node footprint: the quota a resource-governed
+    // rerun of this workload would need to finish untripped.
+    std::size_t peak_live = 0;
+    for (const engine::JobOutcome& o : report.outcomes) {
+      peak_live = std::max(peak_live, o.peak_live);
+    }
     const std::string csv = engine::report_csv(report);
     if (baseline.empty()) {
       baseline = csv;
@@ -84,12 +91,12 @@ int run() {
                   threads);
       ++failures;
     }
-    std::printf("  %7u %10.3f %8.2fx %4zu %9zu %9zu\n", threads,
+    std::printf("  %7u %10.3f %8.2fx %4zu %9zu %9zu %10zu\n", threads,
                 report.wall_seconds,
                 report.wall_seconds > 0 ? base_seconds / report.wall_seconds
                                         : 0.0,
                 ok, report.count(engine::JobStatus::kTimeout),
-                report.count(engine::JobStatus::kError));
+                report.count(engine::JobStatus::kError), peak_live);
     std::fflush(stdout);
   }
   std::printf("# deterministic report: %s\n",

@@ -24,9 +24,20 @@ Manager::Manager(unsigned num_vars, unsigned cache_log2)
     : num_vars_(num_vars),
       subtables_(num_vars),
       var_to_level_(num_vars),
-      level_to_var_(num_vars),
-      cache_(std::size_t{1} << cache_log2),
-      cache_mask_((std::size_t{1} << cache_log2) - 1) {
+      level_to_var_(num_vars) {
+  // Validate before allocating: a bogus cache_log2 would either fail with a
+  // raw bad_alloc or silently overcommit address space the first touch
+  // cannot back.  Either way the caller gets the requested size.
+  const std::size_t slots = std::size_t{1} << cache_log2;
+  if (cache_log2 > kMaxCacheLog2) {
+    throw OutOfMemory("computed cache", slots * sizeof(CacheEntry));
+  }
+  try {
+    cache_.resize(slots);
+  } catch (const std::bad_alloc&) {
+    throw OutOfMemory("computed cache", slots * sizeof(CacheEntry));
+  }
+  cache_mask_ = slots - 1;
   nodes_.reserve(1u << 12);
   for (SubTable& table : subtables_) table.buckets.assign(4, kNilIndex);
   std::iota(var_to_level_.begin(), var_to_level_.end(), 0u);
@@ -37,6 +48,7 @@ Manager::Manager(unsigned num_vars, unsigned cache_log2)
   terminal.ref = 0xFFFF'FFFFu;
   nodes_.push_back(terminal);
   live_count_ = 1;
+  governor_.note_live(live_count_);
 }
 
 unsigned Manager::add_var() {
@@ -88,13 +100,22 @@ std::uint32_t Manager::unique_insert(std::uint32_t var, Edge hi, Edge lo) {
     const Node& n = nodes_[i];
     if (n.hi == hi && n.lo == lo) return i;  // merging rule
   }
+  // Quotas are enforced before a slot is claimed, so looking up an existing
+  // node never throws and an abort leaves the table untouched.
+  if (governor_.node_limited()) {
+    governor_.check_nodes(live_count_ + dead_count_);
+  }
   std::uint32_t index;
   if (!free_list_.empty()) {
     index = free_list_.back();
     free_list_.pop_back();
   } else {
     if (nodes_.size() >= (kNilIndex >> 1)) throw std::length_error("BDD node table full");
-    nodes_.emplace_back();
+    try {
+      nodes_.emplace_back();
+    } catch (const std::bad_alloc&) {
+      throw OutOfMemory("node table", 2 * nodes_.capacity() * sizeof(Node));
+    }
     index = static_cast<std::uint32_t>(nodes_.size() - 1);
   }
   Node& n = nodes_[index];
@@ -133,7 +154,16 @@ void Manager::subtable_link(std::uint32_t index) {
 }
 
 void Manager::grow_buckets(SubTable& table) {
-  std::vector<std::uint32_t> fresh(table.buckets.size() * 2, kNilIndex);
+  std::vector<std::uint32_t> fresh;
+  try {
+    fresh.assign(table.buckets.size() * 2, kNilIndex);
+  } catch (const std::bad_alloc&) {
+    // The node that triggered the growth is already linked; the table stays
+    // consistent (just denser than ideal), so rethrowing here still honors
+    // the strong guarantee.
+    throw OutOfMemory("subtable buckets",
+                      2 * table.buckets.size() * sizeof(std::uint32_t));
+  }
   for (std::uint32_t head : table.buckets) {
     for (std::uint32_t i = head; i != kNilIndex;) {
       const std::uint32_t next = nodes_[i].next;
@@ -152,6 +182,7 @@ void Manager::ref(Edge e) noexcept {
   if (n.ref++ == 0) {
     --dead_count_;
     ++live_count_;
+    governor_.note_live(live_count_);
   }
 }
 
@@ -284,6 +315,9 @@ Edge Manager::ite(Edge f, Edge g, Edge h) {
   if (cache_lookup(kOpIte, f, g, h, &result)) {
     return result.complement_if(out_complement);
   }
+  // One budgeted step per cache miss.  An abort mid-recursion is safe: every
+  // node built so far is dead (ref == 0) and the next GC reclaims it.
+  governor_.charge_step();
 
   const std::uint32_t v = top_var(f, g, h);
   const auto [f1, f0] = branches(f, v);

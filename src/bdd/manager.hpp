@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "bdd/edge.hpp"
+#include "bdd/governor.hpp"
 #include "bdd/node.hpp"
 
 namespace bddmin {
@@ -40,8 +41,14 @@ struct ManagerAccess;  // read/write introspection shim for BddAudit
 
 class Manager {
  public:
+  /// Largest accepted cache_log2; beyond it the constructor throws
+  /// bddmin::OutOfMemory instead of attempting (or silently overcommitting)
+  /// a multi-gigabyte cache allocation.
+  static constexpr unsigned kMaxCacheLog2 = 26;
+
   /// Create a manager over \p num_vars variables.
-  /// \param cache_log2 log2 of the computed-cache slot count.
+  /// \param cache_log2 log2 of the computed-cache slot count; must be at
+  /// most kMaxCacheLog2 (throws bddmin::OutOfMemory otherwise).
   explicit Manager(unsigned num_vars, unsigned cache_log2 = 18);
 
   Manager(const Manager&) = delete;
@@ -154,6 +161,17 @@ class Manager {
     return level_to_var_;
   }
 
+  // ---- Resource governance ---------------------------------------------
+  /// Effort limits and peak-live telemetry (see bdd/governor.hpp).  Install
+  /// a budget with `mgr.governor().set_limits({...})`; operations then abort
+  /// by throwing bddmin::ResourceExhausted when a limit trips, leaving the
+  /// manager structurally consistent and reusable (partial results are dead
+  /// nodes, reclaimed by the next garbage_collect()).
+  [[nodiscard]] ResourceGovernor& governor() noexcept { return governor_; }
+  [[nodiscard]] const ResourceGovernor& governor() const noexcept {
+    return governor_;
+  }
+
   // ---- Computed cache (shared with client algorithms) ------------------
   /// Operation tags below this value are reserved for the manager itself;
   /// client algorithms (the minimization heuristics) use tags >= this.
@@ -204,7 +222,8 @@ class Manager {
   std::vector<std::uint32_t> level_to_var_;
   std::vector<std::uint32_t> free_list_;     // recycled node indices
   std::vector<CacheEntry> cache_;
-  std::size_t cache_mask_;
+  std::size_t cache_mask_ = 0;
+  ResourceGovernor governor_;
   std::size_t live_count_ = 0;  // nodes with ref > 0
   std::size_t dead_count_ = 0;  // allocated nodes with ref == 0
   std::uint64_t gc_runs_ = 0;

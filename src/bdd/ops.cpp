@@ -34,6 +34,7 @@ Edge cofactor(Manager& mgr, Edge f, std::uint32_t var, bool value) {
   const Edge key{(var << 1) | static_cast<std::uint32_t>(value)};
   Edge result;
   if (mgr.cache_lookup(kOpCofactor, f, key, kOne, &result)) return result;
+  mgr.governor().charge_step();
   const Edge t = cofactor(mgr, mgr.hi_of(f), var, value);
   const Edge e = cofactor(mgr, mgr.lo_of(f), var, value);
   result = mgr.make_node(mgr.var_of(f), t, e);
@@ -62,6 +63,7 @@ Edge exists(Manager& mgr, Edge f, Edge cube) {
   if (cube == kOne) return f;
   Edge result;
   if (mgr.cache_lookup(kOpExists, f, cube, kOne, &result)) return result;
+  mgr.governor().charge_step();
   const std::uint32_t v = mgr.var_of(f);
   const bool quantify_here = mgr.var_of(cube) == v;
   const Edge next_cube = quantify_here ? mgr.hi_of(cube) : cube;
@@ -87,6 +89,7 @@ Edge and_exists(Manager& mgr, Edge f, Edge g, Edge cube) {
   if (f.bits > g.bits) std::swap(f, g);  // AND is commutative; canonical key
   Edge result;
   if (mgr.cache_lookup(kOpAndExists, f, g, cube, &result)) return result;
+  mgr.governor().charge_step();
   const auto [f1, f0] = mgr.branches(f, v);
   const auto [g1, g0] = mgr.branches(g, v);
   if (mgr.var_of(cube) == v) {
@@ -108,6 +111,7 @@ Edge compose(Manager& mgr, Edge f, std::uint32_t var, Edge g) {
   const Edge key{var << 1};
   Edge result;
   if (mgr.cache_lookup(kOpCompose, f, g, key, &result)) return result;
+  mgr.governor().charge_step();
   const Edge t = compose(mgr, mgr.hi_of(f), var, g);
   const Edge e = compose(mgr, mgr.lo_of(f), var, g);
   // g may depend on variables above f's top variable, so recombine with a
@@ -123,6 +127,7 @@ Edge vector_compose_rec(Manager& mgr, Edge f, std::span<const Edge> map,
                         std::unordered_map<std::uint32_t, Edge>& memo) {
   if (Manager::is_const(f)) return f;
   if (const auto it = memo.find(f.bits); it != memo.end()) return it->second;
+  mgr.governor().charge_step();
   const std::uint32_t v = mgr.var_of(f);
   const Edge t = vector_compose_rec(mgr, mgr.hi_of(f), map, memo);
   const Edge e = vector_compose_rec(mgr, mgr.lo_of(f), map, memo);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
 #include <sstream>
 #include <thread>
@@ -45,11 +46,48 @@ class ResultSink {
 struct WorkerContext {
   const EngineOptions* opts;
   const std::vector<minimize::Heuristic>* heuristics;
+  const minimize::Heuristic* fallback;  ///< nullptr = no budget retry
   unsigned worker;
 };
 
 [[nodiscard]] bool cancelled(const EngineOptions& opts) {
   return opts.cancel && opts.cancel->load(std::memory_order_relaxed);
+}
+
+/// The per-heuristic budget: quotas from the options, deadline from
+/// whatever remains of the job's wall-clock allowance.
+[[nodiscard]] ResourceLimits heuristic_budget(const EngineOptions& opts,
+                                              Clock::time_point job_start) {
+  ResourceLimits budget;
+  budget.hard_node_limit = opts.node_limit;
+  if (opts.node_limit > 0) {
+    budget.soft_node_limit = opts.node_limit - opts.node_limit / 4;
+  }
+  budget.step_limit = opts.step_limit;
+  if (opts.job_timeout_seconds > 0.0) {
+    const double remaining =
+        opts.job_timeout_seconds -
+        std::chrono::duration<double>(Clock::now() - job_start).count();
+    budget.deadline_seconds = std::max(remaining, 1e-9);
+  }
+  return budget;
+}
+
+/// Run one heuristic under \p budget; always leaves the governor cleared.
+/// On a budget trip the partially built result is reclaimed immediately so
+/// the next attempt starts from a compact table.
+[[nodiscard]] Edge run_budgeted(Manager& mgr, const minimize::Heuristic& h,
+                                const ResourceLimits& budget, Edge f, Edge c) {
+  mgr.governor().set_limits(budget);
+  try {
+    const Edge g = h.run(mgr, f, c);
+    mgr.governor().clear();
+    return g;
+  } catch (...) {
+    mgr.governor().clear();
+    mgr.garbage_collect();  // partial results are dead nodes; reclaim now
+    throw;
+  }
 }
 
 JobOutcome process_job(const Job& job, const WorkerContext& ctx) {
@@ -82,22 +120,56 @@ JobOutcome process_job(const Job& job, const WorkerContext& ctx) {
   outcome.c_size = count_nodes(mgr, spec.c);
   outcome.c_onset = minimize::c_onset_fraction(mgr, spec);
 
-  // Covers stay pinned so the end-of-job audit sees live roots.
+  // Covers stay pinned so the end-of-job audit sees live roots.  `best`
+  // tracks the smallest validated cover so far — the degradation target
+  // when a later heuristic exhausts its budget; it starts at the trivial
+  // cover f, which satisfies f·c <= f <= f + c̄ by construction.
   std::vector<Bdd> covers;
   covers.reserve(heuristics.size());
+  Edge best = spec.f;  // kept live by f_pin / the covers vector
+  std::size_t best_size = outcome.f_size;
   outcome.min_size = SIZE_MAX;
   for (std::size_t h = 0; h < heuristics.size(); ++h) {
     if (opts.job_timeout_seconds > 0.0 &&
         std::chrono::duration<double>(Clock::now() - job_start).count() >=
             opts.job_timeout_seconds) {
-      outcome.status = JobStatus::kTimeout;
+      // Preserve a resource-limit verdict from an earlier heuristic.
+      if (outcome.status == JobStatus::kOk) outcome.status = JobStatus::kTimeout;
       break;
     }
-    if (opts.flush_between) mgr.garbage_collect();
+    if (opts.flush_between || mgr.governor().soft_exceeded()) {
+      mgr.garbage_collect();
+    }
     const auto start = Clock::now();
+    // `best` is only read back on the exception edge; pin it so the abort
+    // handler sees the stored value (see pin_for_unwind in governor.hpp).
+    pin_for_unwind(best);
     Edge g{};
     try {
-      g = heuristics[h].run(mgr, spec.f, spec.c);
+      g = run_budgeted(mgr, heuristics[h], heuristic_budget(opts, job_start),
+                       spec.f, spec.c);
+    } catch (const ResourceExhausted& e) {
+      // Graceful degradation: keep the job alive on the best cover so far.
+      outcome.status = JobStatus::kResourceLimit;
+      if (!outcome.detail.empty()) outcome.detail += "; ";
+      outcome.detail += heuristics[h].name + ": " + limit_class_name(e.limit_class());
+      g = best;
+      if (ctx.fallback != nullptr &&
+          ctx.fallback->name != heuristics[h].name) {
+        try {
+          g = run_budgeted(mgr, *ctx.fallback,
+                           heuristic_budget(opts, job_start), spec.f, spec.c);
+          outcome.detail += " (retried on " + ctx.fallback->name + ")";
+        } catch (const ResourceExhausted& e2) {
+          outcome.detail += " (retry on " + ctx.fallback->name + ": " +
+                            limit_class_name(e2.limit_class()) + ")";
+          g = best;
+        } catch (const std::exception& e2) {
+          outcome.status = JobStatus::kError;
+          outcome.error = ctx.fallback->name + ": " + e2.what();
+          break;
+        }
+      }
     } catch (const std::exception& e) {
       outcome.status = JobStatus::kError;
       outcome.error = heuristics[h].name + ": " + e.what();
@@ -124,10 +196,18 @@ JobOutcome process_job(const Job& job, const WorkerContext& ctx) {
     outcome.results[h].seconds =
         std::chrono::duration<double>(stop - start).count();
     outcome.min_size = std::min(outcome.min_size, outcome.results[h].size);
+    if (outcome.results[h].size < best_size) {
+      best = g;
+      best_size = outcome.results[h].size;
+    }
   }
   if (outcome.min_size == SIZE_MAX) outcome.min_size = 0;
 
-  if (outcome.status == JobStatus::kOk &&
+  // Audit the surviving manager for clean jobs *and* degraded ones — the
+  // whole point of the strong abort guarantee is that a budget trip leaves
+  // nothing for the auditor to find.
+  if ((outcome.status == JobStatus::kOk ||
+       outcome.status == JobStatus::kResourceLimit) &&
       opts.audit_level >= analysis::AuditLevel::kStructural) {
     analysis::AuditOptions aopts;
     aopts.level = std::min(opts.audit_level, analysis::AuditLevel::kCache);
@@ -143,6 +223,7 @@ JobOutcome process_job(const Job& job, const WorkerContext& ctx) {
         mgr, spec.f, spec.c, opts.lower_bound_cubes);
     outcome.lower_bound = lb.bound;
   }
+  outcome.peak_live = mgr.governor().peak_live_nodes();
   outcome.seconds =
       std::chrono::duration<double>(Clock::now() - job_start).count();
   return outcome;
@@ -152,7 +233,21 @@ void worker_loop(WorkStealingQueue& queue, std::span<const Job> jobs,
                  ResultSink& sink, const WorkerContext& ctx) {
   std::size_t index = 0;
   while (queue.try_pop(ctx.worker, &index)) {
-    sink.deliver(index, process_job(jobs[index], ctx));
+    JobOutcome outcome;
+    try {
+      outcome = process_job(jobs[index], ctx);
+    } catch (const std::exception& e) {
+      // Containment: a throw outside the budgeted sections (e.g. the
+      // manager constructor running out of memory) fails the one job, not
+      // the batch.  The results vector is sized so the CSV keeps its shape.
+      outcome.name = jobs[index].name;
+      outcome.num_vars = jobs[index].num_vars;
+      outcome.worker = ctx.worker;
+      outcome.status = JobStatus::kError;
+      outcome.error = e.what();
+      outcome.results.resize(ctx.heuristics->size());
+    }
+    sink.deliver(index, std::move(outcome));
   }
 }
 
@@ -164,6 +259,7 @@ const char* job_status_name(JobStatus s) noexcept {
     case JobStatus::kTimeout: return "timeout";
     case JobStatus::kCancelled: return "cancelled";
     case JobStatus::kError: return "error";
+    case JobStatus::kResourceLimit: return "resource-limit";
   }
   return "?";
 }
@@ -177,17 +273,44 @@ std::size_t BatchReport::count(JobStatus s) const noexcept {
 }
 
 BatchReport run_batch(std::span<const Job> jobs, const EngineOptions& opts) {
-  std::vector<minimize::Heuristic> heuristics = opts.heuristics;
-  if (heuristics.empty()) {
-    heuristics = minimize::all_heuristics();
-    if (!opts.heuristic.empty()) {
-      heuristics = {minimize::heuristic_by_name(heuristics, opts.heuristic)};
+  EngineOptions effective = opts;
+  if (effective.node_limit == 0) {
+    if (const char* env = std::getenv("BDDMIN_NODE_LIMIT")) {
+      effective.node_limit =
+          static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+    }
+  }
+  if (effective.step_limit == 0) {
+    if (const char* env = std::getenv("BDDMIN_STEP_LIMIT")) {
+      effective.step_limit = std::strtoull(env, nullptr, 10);
     }
   }
 
+  std::vector<minimize::Heuristic> heuristics = effective.heuristics;
+  if (heuristics.empty()) {
+    heuristics = minimize::all_heuristics();
+    if (!effective.heuristic.empty()) {
+      heuristics = {minimize::heuristic_by_name(heuristics, effective.heuristic)};
+    }
+  }
+
+  minimize::Heuristic fallback_storage;
+  const minimize::Heuristic* fallback = nullptr;
+  if (!effective.fallback_heuristic.empty()) {
+    // Prefer a heuristic from the selected set; otherwise the full registry.
+    try {
+      fallback_storage =
+          minimize::heuristic_by_name(heuristics, effective.fallback_heuristic);
+    } catch (const std::out_of_range&) {
+      fallback_storage = minimize::heuristic_by_name(
+          minimize::all_heuristics(), effective.fallback_heuristic);
+    }
+    fallback = &fallback_storage;
+  }
+
   unsigned threads =
-      opts.num_threads ? opts.num_threads
-                       : std::max(1u, std::thread::hardware_concurrency());
+      effective.num_threads ? effective.num_threads
+                            : std::max(1u, std::thread::hardware_concurrency());
   threads = std::max(1u, std::min<unsigned>(
                              threads, std::max<std::size_t>(jobs.size(), 1)));
 
@@ -203,7 +326,7 @@ BatchReport run_batch(std::span<const Job> jobs, const EngineOptions& opts) {
   pool.reserve(threads);
   for (unsigned w = 0; w < threads; ++w) {
     pool.emplace_back([&, w] {
-      const WorkerContext ctx{&opts, &heuristics, w};
+      const WorkerContext ctx{&effective, &heuristics, fallback, w};
       worker_loop(queue, jobs, sink, ctx);
     });
   }
@@ -217,7 +340,7 @@ BatchReport run_batch(std::span<const Job> jobs, const EngineOptions& opts) {
 std::string report_csv(const BatchReport& report, bool include_timings) {
   std::ostringstream os;
   os << "job,name,vars,status,f_size,c_size,c_onset,min,lower_bound,"
-        "audit_findings,error";
+        "audit_findings,error,detail,peak_live";
   for (const std::string& name : report.names) os << ",size_" << name;
   if (include_timings) {
     for (const std::string& name : report.names) os << ",sec_" << name;
@@ -231,7 +354,8 @@ std::string report_csv(const BatchReport& report, bool include_timings) {
     os << i << ',' << harness::csv_field(o.name) << ',' << o.num_vars << ','
        << job_status_name(o.status) << ',' << o.f_size << ','
        << o.c_size << ',' << buf << ',' << o.min_size << ',' << o.lower_bound
-       << ',' << o.audit_findings << ',' << harness::csv_field(o.error);
+       << ',' << o.audit_findings << ',' << harness::csv_field(o.error)
+       << ',' << harness::csv_field(o.detail) << ',' << o.peak_live;
     for (const HeuristicResult& r : o.results) os << ',' << r.size;
     if (include_timings) {
       for (const HeuristicResult& r : o.results) {

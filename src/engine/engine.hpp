@@ -13,9 +13,21 @@
 /// verdicts and statuses are independent of worker count and
 /// interleaving.  `report_csv(report)` therefore produces byte-identical
 /// text for any thread count, **provided** no per-job timeout fired and
-/// no cancellation was requested (both are wall-clock events).  Timings
-/// are recorded but only emitted with `include_timings = true`, which is
-/// explicitly outside the deterministic contract.
+/// no cancellation was requested (both are wall-clock events).  Node and
+/// step quotas are deterministic: a job degraded to kResourceLimit by them
+/// degrades identically at every thread count.  Timings are recorded but
+/// only emitted with `include_timings = true`, which is explicitly outside
+/// the deterministic contract.
+///
+/// Resource governance: each heuristic runs under the worker manager's
+/// ResourceGovernor (node quota, step budget, in-operation deadline).  A
+/// budget trip aborts only that heuristic — the manager stays consistent
+/// (strong guarantee, auditable), partial results are garbage-collected,
+/// and the job *degrades* instead of failing: the tripped slot falls back
+/// to the best previously validated cover (or the always-valid trivial
+/// cover f), optionally retrying once on `fallback_heuristic` with a fresh
+/// budget.  Such jobs finish kResourceLimit with the limit class recorded
+/// in `JobOutcome::detail`; kError is reserved for genuine bugs.
 #pragma once
 
 #include <atomic>
@@ -32,10 +44,12 @@
 namespace bddmin::engine {
 
 enum class JobStatus : std::uint8_t {
-  kOk = 0,     ///< all heuristics ran and validated
-  kTimeout,    ///< per-job deadline expired between heuristics
-  kCancelled,  ///< batch cancellation observed before the job started
-  kError,      ///< decode failure, thrown BDDMIN_CHECK, bad cover or audit finding
+  kOk = 0,         ///< all heuristics ran and validated
+  kTimeout,        ///< per-job deadline expired between heuristics
+  kCancelled,      ///< batch cancellation observed before the job started
+  kError,          ///< decode failure, thrown BDDMIN_CHECK, bad cover or audit finding
+  kResourceLimit,  ///< a heuristic exhausted its budget; the job degraded to
+                   ///< a still-valid fallback cover (see JobOutcome::detail)
 };
 
 [[nodiscard]] const char* job_status_name(JobStatus s) noexcept;
@@ -47,9 +61,29 @@ struct EngineOptions {
   std::string heuristic;
   /// Explicit heuristic set; overrides `heuristic` when non-empty.
   std::vector<minimize::Heuristic> heuristics;
-  /// Per-job wall-clock budget, checked between heuristics (cooperative —
-  /// a single heuristic call is never interrupted).  0 disables.
+  /// Per-job wall-clock budget.  Checked between heuristics and — via the
+  /// worker manager's ResourceGovernor — polled *inside* the budgeted
+  /// recursions, so a single runaway heuristic is interrupted mid-flight
+  /// (status kResourceLimit with detail "deadline").  0 disables.
   double job_timeout_seconds = 0.0;
+  /// Hard quota on the worker manager's allocated nodes (live + dead),
+  /// enforced while a heuristic runs; tripping it aborts the heuristic with
+  /// bddmin::NodeLimit and degrades the job to its fallback cover.  0 means
+  /// unlimited; when 0, the BDDMIN_NODE_LIMIT environment variable (if set)
+  /// supplies a fleet-wide default.  A soft quota at 3/4 of the hard one
+  /// triggers a garbage collection between heuristics even when
+  /// `flush_between` is off.
+  std::size_t node_limit = 0;
+  /// Recursion-step budget per heuristic run (memoization misses across
+  /// ITE/cofactor/quantification and the minimization traversals); a
+  /// deterministic, machine-independent effort bound.  0 means unlimited;
+  /// when 0, BDDMIN_STEP_LIMIT (if set) supplies a default.
+  std::uint64_t step_limit = 0;
+  /// Registry name of a cheaper heuristic to retry once — with a fresh
+  /// budget — when a heuristic exhausts its budget (e.g. "restr" as the
+  /// fallback for "osm_td").  Empty disables the retry; the job then keeps
+  /// the best previously validated cover (or the trivial cover f).
+  std::string fallback_heuristic;
   /// BddAudit depth after each job (1-3 audit the worker's manager;
   /// level 4 additionally replaces the plain cover check with the
   /// witness-reporting contract audit).  Findings turn the job kError.
@@ -78,7 +112,12 @@ struct JobOutcome {
   std::string name;
   unsigned num_vars = 0;
   JobStatus status = JobStatus::kOk;
-  std::string error;                     ///< diagnostic for kError
+  std::string error;                     ///< diagnostic for kError only
+  /// Resource-limit trail for kResourceLimit: which heuristic tripped which
+  /// limit class and what the degradation did, e.g.
+  /// "osm_td: step-limit (retried on restr)".  Deterministic for the
+  /// node/step limit classes.
+  std::string detail;
   std::size_t f_size = 0;
   std::size_t c_size = 0;
   double c_onset = 0.0;                  ///< care onset fraction in [0, 1]
@@ -86,6 +125,9 @@ struct JobOutcome {
   std::size_t min_size = 0;              ///< best over heuristics that ran
   std::size_t lower_bound = 0;           ///< Theorem 7 bound (opt-in)
   std::size_t audit_findings = 0;
+  /// Peak live-node count of the worker manager over the whole job — the
+  /// memory high-water mark.  Deterministic (one fresh manager per job).
+  std::size_t peak_live = 0;
   unsigned worker = 0;                   ///< informational; non-deterministic
   double seconds = 0.0;                  ///< total job wall time
 };

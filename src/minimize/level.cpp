@@ -204,6 +204,7 @@ struct Substituter {
       return it != replacement.end() ? it->second : IncSpec{f, c};
     }
     if (const auto it = memo.find(key); it != memo.end()) return it->second;
+    mgr.governor().charge_step();
     const std::uint32_t v = mgr.top_var(f, c);
     const auto [f_t, f_e] = mgr.branches(f, v);
     const auto [c_t, c_e] = mgr.branches(c, v);

@@ -55,6 +55,24 @@ Heuristic with_fallback(Heuristic inner) {
   return wrapped;
 }
 
+Heuristic with_budget(Heuristic inner, ResourceLimits limits) {
+  Heuristic wrapped;
+  wrapped.name = inner.name;
+  wrapped.run = [inner = std::move(inner), limits](Manager& m, Edge f, Edge c) {
+    const ResourceLimits saved = m.governor().limits();
+    m.governor().set_limits(limits);
+    try {
+      const Edge g = inner.run(m, f, c);
+      m.governor().set_limits(saved);
+      return g;
+    } catch (...) {
+      m.governor().set_limits(saved);
+      throw;
+    }
+  };
+  return wrapped;
+}
+
 const Heuristic& heuristic_by_name(const std::vector<Heuristic>& set,
                                    const std::string& name) {
   for (const Heuristic& h : set) {

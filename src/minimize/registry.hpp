@@ -44,6 +44,14 @@ struct Heuristic {
 /// smaller of the two".  This wraps any heuristic that way.
 [[nodiscard]] Heuristic with_fallback(Heuristic inner);
 
+/// Scope a resource budget (bdd/governor.hpp) around \p inner: the limits
+/// are installed on the manager for the duration of the call and the
+/// previous limits restored afterwards — also when the budget trips and the
+/// ResourceExhausted exception propagates to the caller.  Restoring restarts
+/// the saved deadline's clock, so treat nested deadlines as per-stage
+/// budgets rather than absolute points in time.
+[[nodiscard]] Heuristic with_budget(Heuristic inner, ResourceLimits limits);
+
 /// Look a heuristic up by name in \p set; throws std::out_of_range.
 [[nodiscard]] const Heuristic& heuristic_by_name(
     const std::vector<Heuristic>& set, const std::string& name);

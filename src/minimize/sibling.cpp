@@ -27,6 +27,7 @@ struct TopDown {
     if (const auto it = memo.find(pair_key(f, c)); it != memo.end()) {
       return it->second;
     }
+    mgr.governor().charge_step();
     const std::uint32_t top = mgr.top_var(f, c);
     const auto [f_t, f_e] = mgr.branches(f, top);
     const auto [c_t, c_e] = mgr.branches(c, top);
@@ -117,6 +118,7 @@ struct MixedTopDown {
     if (const auto it = memo.find(pair_key(f, c)); it != memo.end()) {
       return it->second;
     }
+    mgr.governor().charge_step();
     const std::uint32_t top = mgr.top_var(f, c);
     const Criterion crit = criterion_at(mgr.level_of_var(top));
     const auto [f_t, f_e] = mgr.branches(f, top);
@@ -173,6 +175,7 @@ struct WindowPass {
     if (const auto it = memo.find(pair_key(spec.f, spec.c)); it != memo.end()) {
       return it->second;
     }
+    mgr.governor().charge_step();
     const auto [f_t, f_e] = mgr.branches(spec.f, top);
     const auto [c_t, c_e] = mgr.branches(spec.c, top);
     IncSpec ret;

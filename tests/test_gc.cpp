@@ -115,6 +115,37 @@ TEST(EdgePin, PinsUntilDestroyed) {
   EXPECT_EQ(mgr.live_nodes(), 1u);
 }
 
+TEST(Gc, RepeatedAbortGcReuseCyclesRecycleSlots) {
+  // Abort-&-recover drill: trip the node quota, collect the dead partials,
+  // reuse the manager, repeat.  Reclaimed slots must come back through the
+  // free list, so the table size is the same after every cycle — a leaked
+  // reference or a free-list break would make it creep upward.
+  Manager mgr(6);
+  ResourceLimits lim;
+  lim.hard_node_limit = mgr.allocated_nodes() + 12;
+  std::mt19937_64 rng(77);
+  std::size_t table_size = 0;
+  for (int cycle = 0; cycle < 25; ++cycle) {
+    mgr.governor().set_limits(lim);
+    EXPECT_THROW(
+        {
+          for (int k = 0; k < 6; ++k) (void)from_tt(mgr, rng() & tt_mask(6), 6);
+        },
+        NodeLimit);
+    mgr.governor().clear();
+    mgr.garbage_collect();
+    EXPECT_EQ(mgr.dead_nodes(), 0u);
+    if (cycle == 0) {
+      table_size = mgr.allocated_nodes();
+    } else {
+      EXPECT_EQ(mgr.allocated_nodes(), table_size) << "cycle " << cycle;
+    }
+  }
+  // The survivor is still a working manager.
+  const Edge f = mgr.xor_(mgr.var_edge(0), mgr.var_edge(5));
+  EXPECT_EQ(count_nodes(mgr, f), 3u);
+}
+
 TEST(Gc, HeavyChurnStressKeepsCanonicity) {
   Manager mgr(6);
   std::mt19937_64 rng(31);

@@ -3,8 +3,12 @@
 ///
 /// ```
 /// bddmin_cli minimize <circuit.pla> [--heuristic NAME] [--sift]
+///                     [--node-limit N]
 ///     Minimize every output of an espresso PLA; prints per-output and
 ///     forest node counts for the chosen heuristic (default: all).
+///     --node-limit bounds the manager's allocated nodes while each
+///     heuristic runs; a tripped run degrades to the trivial cover f and
+///     its size is marked with '*'.
 ///
 /// bddmin_cli equiv <a.kiss> <b.kiss> [--stats]
 ///     Product-machine equivalence; prints VERDICT and, for inequivalent
@@ -17,6 +21,7 @@
 ///     against the unreachable states.
 ///
 /// bddmin_cli audit <circuit.pla> [--level N] [--mutate CLASS] [--sift]
+///                  [--node-limit N]
 ///     Build every output of the PLA, run all minimization heuristics,
 ///     then run the BddAudit passes up to level N (default 4: structure,
 ///     ref counts, cache coherence, cover contracts) and print the
@@ -28,14 +33,23 @@
 /// bddmin_cli batch [--pla FILE] [--jobs N] [--vars K] [--density D]
 ///                  [--seed S] [--threads T] [--heuristic NAME]
 ///                  [--audit-level L] [--timeout-ms M] [--lower-bound]
-///                  [--csv PATH] [--timings]
+///                  [--node-limit N] [--step-limit N]
+///                  [--fallback-heuristic NAME] [--csv PATH] [--timings]
 ///     Shard a set of minimization jobs across a worker pool (each worker
 ///     owns a private manager) and print the per-status summary plus a
 ///     submission-order CSV report.  Jobs come from the PLA's output
 ///     columns, or from seeded random instances (reproducible end to end
-///     from --seed; job k uses seed S+k).  The CSV is byte-identical for
-///     any --threads value; --timings appends the non-deterministic
-///     timing columns.  Exit code is 3 when any job failed.
+///     from --seed; job k uses seed S+k).  --node-limit/--step-limit put
+///     each heuristic run under a resource budget (defaults from
+///     BDDMIN_NODE_LIMIT / BDDMIN_STEP_LIMIT); a tripped run degrades the
+///     job to a still-valid cover — retried once on --fallback-heuristic
+///     when given — and the job finishes `resource-limit`, not `error`.
+///     The CSV is byte-identical for any --threads value; --timings
+///     appends the non-deterministic timing columns.
+///
+/// Exit codes: 0 every job ok; 3 at least one job errored (genuine bug);
+/// 4 no errors but some jobs degraded (resource-limit, timeout or
+/// cancelled); 1 usage / I/O problems.
 /// ```
 #include <algorithm>
 #include <cstdio>
@@ -87,6 +101,32 @@ const char* flag_value(int argc, char** argv, const char* flag) {
   return nullptr;
 }
 
+std::uint64_t size_flag(int argc, char** argv, const char* flag) {
+  const char* raw = flag_value(argc, argv, flag);
+  return raw ? std::strtoull(raw, nullptr, 10) : 0;
+}
+
+/// Run \p h under a hard node quota; a trip degrades to the trivial cover
+/// f and reclaims the aborted partial results.  Pin f and c before calling
+/// when the limit is active — the recovery garbage-collects.
+Edge run_limited(Manager& mgr, const minimize::Heuristic& h,
+                 const ResourceLimits& budget, Edge f, Edge c,
+                 bool* tripped) {
+  mgr.governor().set_limits(budget);
+  pin_for_unwind(f);  // the catch handler reads f back after unwinding
+  Edge g;
+  try {
+    g = h.run(mgr, f, c);
+  } catch (const ResourceExhausted&) {
+    *tripped = true;
+    g = f;
+    mgr.governor().clear();
+    mgr.garbage_collect();
+  }
+  mgr.governor().clear();
+  return g;
+}
+
 int cmd_minimize(int argc, char** argv) {
   const pla::Pla circuit = pla::parse_pla(slurp(argv[0]), argv[0]);
   Manager mgr(circuit.num_inputs);
@@ -98,22 +138,40 @@ int cmd_minimize(int argc, char** argv) {
   if (const char* name = flag_value(argc, argv, "--heuristic")) {
     set = {minimize::heuristic_by_name(set, name)};
   }
+  ResourceLimits budget;
+  budget.hard_node_limit =
+      static_cast<std::size_t>(size_flag(argc, argv, "--node-limit"));
+  // Pin the specs: recovering from a quota trip garbage-collects, and the
+  // f/c edges must survive it.
+  std::vector<Bdd> spec_pins;
+  for (const auto& spec : specs) {
+    spec_pins.emplace_back(mgr, spec.f);
+    spec_pins.emplace_back(mgr, spec.c);
+  }
   std::printf("%s: %u inputs, %u outputs, %zu cubes\n", circuit.name.c_str(),
               circuit.num_inputs, circuit.num_outputs, circuit.cubes.size());
   std::printf("%-10s", "output");
   for (const auto& h : set) std::printf(" %8s", h.name.c_str());
   std::printf("\n");
   std::vector<std::vector<Bdd>> covers(set.size());
+  std::size_t trips = 0;
   for (unsigned j = 0; j < circuit.num_outputs; ++j) {
     const std::string label = j < circuit.output_labels.size()
                                   ? circuit.output_labels[j]
                                   : "o" + std::to_string(j);
     std::printf("%-10s", label.c_str());
     for (std::size_t h = 0; h < set.size(); ++h) {
-      covers[h].emplace_back(mgr, set[h].run(mgr, specs[j].f, specs[j].c));
-      std::printf(" %8zu", covers[h].back().size());
+      bool tripped = false;
+      const Edge g =
+          run_limited(mgr, set[h], budget, specs[j].f, specs[j].c, &tripped);
+      trips += tripped ? 1 : 0;
+      covers[h].emplace_back(mgr, g);
+      std::printf(tripped ? " %7zu*" : " %8zu", covers[h].back().size());
     }
     std::printf("\n");
+  }
+  if (trips > 0) {
+    std::printf("* %zu run(s) hit the node limit and degraded to f\n", trips);
   }
   std::printf("%-10s", "forest");
   for (std::size_t h = 0; h < set.size(); ++h) {
@@ -221,13 +279,25 @@ int cmd_audit(int argc, char** argv) {
   // on request — an audit of a busy table is worth more than of an idle
   // one.
   const auto set = minimize::all_heuristics();
+  ResourceLimits budget;
+  budget.hard_node_limit =
+      static_cast<std::size_t>(size_flag(argc, argv, "--node-limit"));
   std::vector<Bdd> pinned;
+  std::size_t trips = 0;
   for (const auto& spec : specs) {
     pinned.emplace_back(mgr, spec.f);
     pinned.emplace_back(mgr, spec.c);
     for (const auto& h : set) {
-      pinned.emplace_back(mgr, h.run(mgr, spec.f, spec.c));
+      bool tripped = false;
+      pinned.emplace_back(
+          mgr, run_limited(mgr, h, budget, spec.f, spec.c, &tripped));
+      trips += tripped ? 1 : 0;
     }
+  }
+  if (trips > 0) {
+    std::printf("resource trips: %zu (degraded to f; the audit below "
+                "verifies the abort left the manager consistent)\n",
+                trips);
   }
   if (has_flag(argc, argv, "--sift")) mgr.reorder_sift();
 
@@ -289,23 +359,34 @@ int cmd_batch(int argc, char** argv) {
       std::clamp<long>(int_flag("--audit-level", 0), 0, 4));
   opts.job_timeout_seconds = int_flag("--timeout-ms", 0) / 1000.0;
   if (has_flag(argc, argv, "--lower-bound")) opts.lower_bound_cubes = 1000;
+  opts.node_limit =
+      static_cast<std::size_t>(size_flag(argc, argv, "--node-limit"));
+  opts.step_limit = size_flag(argc, argv, "--step-limit");
+  if (const char* name = flag_value(argc, argv, "--fallback-heuristic")) {
+    opts.fallback_heuristic = name;
+  }
 
   const engine::BatchReport report = engine::run_batch(jobs, opts);
   std::size_t total_f = 0;
   std::size_t total_min = 0;
+  std::size_t peak_live = 0;
   for (const engine::JobOutcome& o : report.outcomes) {
     total_f += o.f_size;
     total_min += o.min_size;
+    peak_live = std::max(peak_live, o.peak_live);
   }
   std::printf("batch: %zu jobs, %zu heuristics, %u threads, %.3fs\n",
               report.outcomes.size(), report.names.size(),
               report.num_threads, report.wall_seconds);
-  std::printf("status: ok=%zu timeout=%zu cancelled=%zu error=%zu\n",
-              report.count(engine::JobStatus::kOk),
-              report.count(engine::JobStatus::kTimeout),
-              report.count(engine::JobStatus::kCancelled),
-              report.count(engine::JobStatus::kError));
-  std::printf("nodes: f=%zu best=%zu\n", total_f, total_min);
+  std::printf(
+      "status: ok=%zu timeout=%zu cancelled=%zu error=%zu resource-limit=%zu\n",
+      report.count(engine::JobStatus::kOk),
+      report.count(engine::JobStatus::kTimeout),
+      report.count(engine::JobStatus::kCancelled),
+      report.count(engine::JobStatus::kError),
+      report.count(engine::JobStatus::kResourceLimit));
+  std::printf("nodes: f=%zu best=%zu peak_live=%zu\n", total_f, total_min,
+              peak_live);
   const std::string csv =
       engine::report_csv(report, has_flag(argc, argv, "--timings"));
   if (const char* path = flag_value(argc, argv, "--csv")) {
@@ -318,7 +399,10 @@ int cmd_batch(int argc, char** argv) {
   } else {
     std::printf("%s", csv.c_str());
   }
-  return report.count(engine::JobStatus::kOk) == report.outcomes.size() ? 0 : 3;
+  // 0: every job clean.  3: at least one genuine bug.  4: no bugs, but
+  // some jobs degraded (resource-limit / timeout / cancelled).
+  if (report.count(engine::JobStatus::kError) > 0) return 3;
+  return report.count(engine::JobStatus::kOk) == report.outcomes.size() ? 0 : 4;
 }
 
 }  // namespace
@@ -346,16 +430,19 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr,
                "usage:\n"
-               "  bddmin_cli minimize <circuit.pla> [--heuristic NAME] [--sift]\n"
+               "  bddmin_cli minimize <circuit.pla> [--heuristic NAME] [--sift]"
+               " [--node-limit N]\n"
                "  bddmin_cli equiv <a.kiss> <b.kiss> [--stats]\n"
                "  bddmin_cli reach <a.kiss>\n"
                "  bddmin_cli audit <circuit.pla> [--level N] [--mutate CLASS]"
-               " [--sift]\n"
+               " [--sift] [--node-limit N]\n"
                "  bddmin_cli batch [--pla FILE] [--jobs N] [--vars K]"
                " [--density D] [--seed S]\n"
                "                   [--threads T] [--heuristic NAME]"
                " [--audit-level L]\n"
                "                   [--timeout-ms M] [--lower-bound]"
+               " [--node-limit N] [--step-limit N]\n"
+               "                   [--fallback-heuristic NAME]"
                " [--csv PATH] [--timings]\n");
   return 1;
 }
