@@ -20,6 +20,8 @@
 #include "engine/engine.hpp"
 #include "experiment_common.hpp"
 #include "fsm/equiv.hpp"
+#include "harness/csv.hpp"
+#include "harness/json.hpp"
 
 namespace bddmin::bench {
 namespace {
@@ -67,6 +69,12 @@ int run() {
   int failures = 0;
   std::string baseline;
   double base_seconds = 0.0;
+  harness::JsonWriter json;
+  json.begin_object();
+  json.kv("bench", "batch");
+  json.kv("jobs", jobs.size());
+  json.key("runs");
+  json.begin_array();
   std::printf("# %7s %10s %9s %4s %9s %9s %10s\n", "threads", "wall[s]",
               "speedup", "ok", "timeout", "error", "peak_live");
   for (const unsigned threads : {1u, 2u, 4u, 8u}) {
@@ -91,6 +99,28 @@ int run() {
                   threads);
       ++failures;
     }
+    // Whole-batch telemetry: the per-job counters are deterministic, so
+    // these sums must agree at every thread count.
+    telemetry::CounterSnapshot counters;
+    for (const engine::JobOutcome& o : report.outcomes) {
+      counters += o.counters;
+    }
+    const std::uint64_t hits = counters.total_cache_hits();
+    const std::uint64_t misses = counters.total_cache_misses();
+    json.begin_object();
+    json.kv("threads", threads);
+    json.kv("wall_seconds", report.wall_seconds);
+    json.kv("speedup",
+            report.wall_seconds > 0 ? base_seconds / report.wall_seconds : 0.0);
+    json.kv("ok", ok);
+    json.kv("peak_live", peak_live);
+    json.kv("cache_hits", hits);
+    json.kv("cache_misses", misses);
+    json.kv("cache_hit_rate",
+            hits + misses ? static_cast<double>(hits) / (hits + misses) : 0.0);
+    json.kv("steps",
+            counters.value(telemetry::Counter::kGovernorSteps));
+    json.end_object();
     std::printf("  %7u %10.3f %8.2fx %4zu %9zu %9zu %10zu\n", threads,
                 report.wall_seconds,
                 report.wall_seconds > 0 ? base_seconds / report.wall_seconds
@@ -102,6 +132,12 @@ int run() {
   std::printf("# deterministic report: %s\n",
               failures == 0 ? "byte-identical across all thread counts"
                             : "DIVERGED");
+  json.end_array();
+  json.kv("deterministic", failures == 0);
+  json.end_object();
+  if (harness::write_text_file("BENCH_batch.json", json.str())) {
+    std::printf("# summary written to BENCH_batch.json\n");
+  }
   return failures == 0 ? 0 : 1;
 }
 

@@ -4,6 +4,7 @@
 /// bucketed by c_onset_size (all / <5% / >95%).
 #include "experiment_common.hpp"
 #include "harness/csv.hpp"
+#include "harness/json.hpp"
 #include "harness/render.hpp"
 #include "harness/stats.hpp"
 
@@ -53,6 +54,46 @@ int main() {
     std::printf("per-call records written to bench_table3_records.csv (%zu "
                 "rows)\n",
                 interceptor.records().size());
+  }
+
+  // Machine-readable trajectory point: the Table 3 aggregate plus the
+  // telemetry cache behaviour of every heuristic over the whole workload.
+  const auto names = interceptor.names();
+  harness::JsonWriter json;
+  json.begin_object();
+  json.kv("bench", "table3");
+  json.kv("calls", table.all.calls);
+  json.kv("filtered_calls", interceptor.filtered_calls());
+  json.kv("total_min", table.all.total_min);
+  json.kv("total_lower_bound", table.all.total_lower_bound);
+  json.key("heuristics");
+  json.begin_array();
+  for (std::size_t h = 0; h < names.size(); ++h) {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t steps = 0;
+    for (const harness::CallRecord& r : interceptor.records()) {
+      hits += r.outcomes[h].cache_hits;
+      misses += r.outcomes[h].cache_misses;
+      steps += r.outcomes[h].steps;
+    }
+    json.begin_object();
+    json.kv("name", names[h]);
+    json.kv("total_size", table.all.total_size[h]);
+    json.kv("seconds", table.all.total_seconds[h]);
+    json.kv("rank", table.all.rank[h]);
+    json.kv("pct_of_min", table.all.pct_of_min(h));
+    json.kv("cache_hits", hits);
+    json.kv("cache_misses", misses);
+    json.kv("cache_hit_rate",
+            hits + misses ? static_cast<double>(hits) / (hits + misses) : 0.0);
+    json.kv("steps", steps);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  if (harness::write_text_file("BENCH_table3.json", json.str())) {
+    std::printf("summary written to BENCH_table3.json\n");
   }
   return 0;
 }

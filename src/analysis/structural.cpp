@@ -15,6 +15,7 @@
 
 #include "analysis/access.hpp"
 #include "analysis/audit.hpp"
+#include "telemetry/counters.hpp"
 
 namespace bddmin::analysis {
 namespace {
@@ -240,6 +241,28 @@ void audit_structure(const Manager& mgr, AuditReport& report) {
                "table of " + std::to_string(nodes.size()) + " slots holds " +
                    std::to_string(unique_total) + " chained + " +
                    std::to_string(free_marked) + " free + terminal");
+  }
+
+  // Cross-check the structure against the telemetry counters: every node
+  // ever chained was counted by kUniqueInserts, and every node unchained
+  // was counted by kGcNodesReclaimed (GC sweeps) or kReorderNodesFreed
+  // (swap-local frees), so the difference must equal what is chained now.
+  // An imbalance means either a table mutation bypassed the instrumented
+  // paths or a counter site was lost — both worth a finding.
+  if constexpr (telemetry::kCountersEnabled) {
+    using telemetry::Counter;
+    const telemetry::CounterSnapshot counters = mgr.telemetry();
+    const std::uint64_t created = counters.value(Counter::kUniqueInserts);
+    const std::uint64_t freed = counters.value(Counter::kGcNodesReclaimed) +
+                                counters.value(Counter::kReorderNodesFreed);
+    if (created != freed + unique_total) {
+      report.add(Category::kAccounting,
+                 "telemetry insert/reclaim counters disagree with the unique "
+                 "table: " +
+                     std::to_string(created) + " inserted - " +
+                     std::to_string(freed) + " reclaimed != " +
+                     std::to_string(unique_total) + " chained");
+    }
   }
 }
 

@@ -142,9 +142,25 @@ class ResourceGovernor {
   }
   [[nodiscard]] const ResourceLimits& limits() const noexcept { return limits_; }
 
+  /// Attach the owning manager's telemetry slot for steps charged (see
+  /// telemetry/counters.hpp, Counter::kGovernorSteps).  The governor
+  /// counts into it unconditionally — also when no limit is installed —
+  /// so step telemetry works for unlimited runs.  Null detaches.
+  void attach_step_counter(std::uint64_t* slot) noexcept {
+#if !defined(BDDMIN_NO_TELEMETRY)
+    step_counter_ = slot;
+#else
+    (void)slot;
+#endif
+  }
+
   /// Charge one recursion step (called on memoization misses).  Hot path:
-  /// a single predicted branch when no step/deadline limit is installed.
+  /// a single predicted branch when no step/deadline limit is installed
+  /// (plus one counter increment when telemetry is compiled in).
   void charge_step() {
+#if !defined(BDDMIN_NO_TELEMETRY)
+    if (step_counter_ != nullptr) ++*step_counter_;
+#endif
     if (!watching_steps_) return;
     ++steps_;
     if (limits_.step_limit != 0 && steps_ > limits_.step_limit) {
@@ -194,6 +210,9 @@ class ResourceGovernor {
 
   ResourceLimits limits_;
   Clock::time_point deadline_{};
+#if !defined(BDDMIN_NO_TELEMETRY)
+  std::uint64_t* step_counter_ = nullptr;  // owned by the Manager's bank
+#endif
   std::uint64_t steps_ = 0;
   std::size_t peak_live_ = 0;
   bool watching_steps_ = false;

@@ -4,8 +4,10 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "analysis/access.hpp"
 #include "analysis/audit.hpp"
 #include "analysis/check.hpp"
+#include "bdd/ops.hpp"
 
 namespace bddmin {
 namespace {
@@ -16,6 +18,24 @@ constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
   x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
   x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
   return x ^ (x >> 31);
+}
+
+/// Counter pair (hit = returned value, miss = value + 1) for a cache op
+/// tag.  Tags 2..7 are reserved-but-unused manager internals; they and
+/// the client tags (>= kUserOpBase) all fall into the "user" class.
+constexpr telemetry::Counter cache_hit_counter_of(std::uint32_t op) noexcept {
+  using telemetry::CacheOpClass;
+  CacheOpClass cls = CacheOpClass::kUser;
+  if (op == analysis::ManagerAccess::op_ite()) {
+    cls = CacheOpClass::kIte;
+  } else if (op == cache_tag::kCofactor) {
+    cls = CacheOpClass::kCofactor;
+  } else if (op == cache_tag::kExists || op == cache_tag::kAndExists) {
+    cls = CacheOpClass::kQuantify;
+  } else if (op == cache_tag::kCompose) {
+    cls = CacheOpClass::kCompose;
+  }
+  return telemetry::cache_hit_counter(cls);
 }
 
 }  // namespace
@@ -49,6 +69,9 @@ Manager::Manager(unsigned num_vars, unsigned cache_log2)
   nodes_.push_back(terminal);
   live_count_ = 1;
   governor_.note_live(live_count_);
+  // Steps are charged inside the governor; route them into this manager's
+  // counter bank so telemetry sees them even on unlimited runs.
+  governor_.attach_step_counter(counters_.step_slot());
 }
 
 unsigned Manager::add_var() {
@@ -98,7 +121,10 @@ std::uint32_t Manager::unique_insert(std::uint32_t var, Edge hi, Edge lo) {
   const std::size_t h = node_hash(hi, lo) & (table.buckets.size() - 1);
   for (std::uint32_t i = table.buckets[h]; i != kNilIndex; i = nodes_[i].next) {
     const Node& n = nodes_[i];
-    if (n.hi == hi && n.lo == lo) return i;  // merging rule
+    if (n.hi == hi && n.lo == lo) {  // merging rule
+      counters_.bump(telemetry::Counter::kUniqueHits);
+      return i;
+    }
   }
   // Quotas are enforced before a slot is claimed, so looking up an existing
   // node never throws and an abort leaves the table untouched.
@@ -118,6 +144,7 @@ std::uint32_t Manager::unique_insert(std::uint32_t var, Edge hi, Edge lo) {
     }
     index = static_cast<std::uint32_t>(nodes_.size() - 1);
   }
+  counters_.bump(telemetry::Counter::kUniqueInserts);
   Node& n = nodes_[index];
   n.var = var;
   n.hi = hi;
@@ -198,6 +225,7 @@ void Manager::deref(Edge e) noexcept {
 
 std::size_t Manager::garbage_collect() {
   ++gc_runs_;
+  counters_.bump(telemetry::Counter::kGcRuns);
   std::vector<std::uint32_t> work;
   for (std::uint32_t i = 1; i < nodes_.size(); ++i) {
     if (nodes_[i].var != kFreeVar && nodes_[i].ref == 0) work.push_back(i);
@@ -225,6 +253,7 @@ std::size_t Manager::garbage_collect() {
     --dead_count_;
     ++freed;
   }
+  counters_.add(telemetry::Counter::kGcNodesReclaimed, freed);
   clear_caches();  // cached results may reference freed nodes
   return freed;
 }
@@ -239,9 +268,13 @@ bool Manager::cache_lookup(std::uint32_t op, Edge a, Edge b, Edge c,
   const std::uint64_t k2 = (std::uint64_t{b.bits} << 32) | c.bits;
   const CacheEntry& e = cache_[mix64(k1 ^ mix64(k2)) & cache_mask_];
   if (e.k1 == k1 && e.k2 == k2 && e.epoch == cache_epoch_) {
+    counters_.bump(cache_hit_counter_of(op));
     *out = e.result;
     return true;
   }
+  // Miss counters sit one slot after their hit counter (see counters.hpp).
+  counters_.bump(static_cast<telemetry::Counter>(
+      static_cast<unsigned>(cache_hit_counter_of(op)) + 1));
   return false;
 }
 
@@ -336,6 +369,7 @@ Edge Manager::ite(Edge f, Edge g, Edge h) {
 
 std::ptrdiff_t Manager::swap_adjacent_levels(std::uint32_t level) {
   BDDMIN_CHECK(level + 1 < num_vars_);
+  counters_.bump(telemetry::Counter::kSiftSwaps);
   const std::uint32_t x = level_to_var_[level];
   const std::uint32_t y = level_to_var_[level + 1];
   const std::ptrdiff_t before = static_cast<std::ptrdiff_t>(unique_size());
@@ -402,6 +436,9 @@ std::ptrdiff_t Manager::swap_adjacent_levels(std::uint32_t level) {
     n.var = kFreeVar;
     free_list_.push_back(i);
     --dead_count_;
+    // Swap frees bypass garbage_collect(); count them separately so the
+    // audit's insert/reclaim cross-check still balances.
+    counters_.bump(telemetry::Counter::kReorderNodesFreed);
     freed_any = true;
   }
   // Freed slots may be referenced by memoized results; drop them (O(1)).

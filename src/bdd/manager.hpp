@@ -32,6 +32,7 @@
 #include "bdd/edge.hpp"
 #include "bdd/governor.hpp"
 #include "bdd/node.hpp"
+#include "telemetry/counters.hpp"
 
 namespace bddmin {
 
@@ -172,6 +173,16 @@ class Manager {
     return governor_;
   }
 
+  // ---- Telemetry --------------------------------------------------------
+  /// Snapshot of this manager's event counters (unique-table traffic,
+  /// computed-cache hits/misses per op class, GC, sifting, governor
+  /// steps).  Deterministic: counts structural events, never time.
+  /// Measure an operation as `after - before`; all zeros when compiled
+  /// out (-DBDDMIN_TELEMETRY=OFF).  See telemetry/counters.hpp.
+  [[nodiscard]] telemetry::CounterSnapshot telemetry() const noexcept {
+    return counters_.snapshot();
+  }
+
   // ---- Computed cache (shared with client algorithms) ------------------
   /// Operation tags below this value are reserved for the manager itself;
   /// client algorithms (the minimization heuristics) use tags >= this.
@@ -223,6 +234,9 @@ class Manager {
   std::vector<std::uint32_t> free_list_;     // recycled node indices
   std::vector<CacheEntry> cache_;
   std::size_t cache_mask_ = 0;
+  // Mutable: cache_lookup is const yet counts its hit/miss.  Counting is
+  // observation, not logical state — a const Manager still meters.
+  mutable telemetry::CounterBank counters_;
   ResourceGovernor governor_;
   std::size_t live_count_ = 0;  // nodes with ref > 0
   std::size_t dead_count_ = 0;  // allocated nodes with ref == 0

@@ -10,14 +10,13 @@
 namespace bddmin {
 namespace {
 
-// Manager-internal cache tags (must stay below Manager::kUserOpBase and
-// distinct from tags used inside manager.cpp).
-enum Op : std::uint32_t {
-  kOpCofactor = 8,
-  kOpExists = 9,
-  kOpAndExists = 10,
-  kOpCompose = 11,
-};
+// Cache tags are public (ops.hpp cache_tag) so the manager can classify
+// cache traffic per op class; these aliases keep the recursion bodies
+// readable.
+constexpr std::uint32_t kOpCofactor = cache_tag::kCofactor;
+constexpr std::uint32_t kOpExists = cache_tag::kExists;
+constexpr std::uint32_t kOpAndExists = cache_tag::kAndExists;
+constexpr std::uint32_t kOpCompose = cache_tag::kCompose;
 
 /// Drop leading cube variables that sit above \p level in the order: they
 /// cannot appear in the operand, so quantifying them is a no-op.

@@ -15,6 +15,7 @@
 #include "engine/queue.hpp"
 #include "harness/csv.hpp"
 #include "minimize/lower_bound.hpp"
+#include "telemetry/trace.hpp"
 
 namespace bddmin::engine {
 namespace {
@@ -145,56 +146,71 @@ JobOutcome process_job(const Job& job, const WorkerContext& ctx) {
     // handler sees the stored value (see pin_for_unwind in governor.hpp).
     pin_for_unwind(best);
     Edge g{};
-    try {
-      g = run_budgeted(mgr, heuristics[h], heuristic_budget(opts, job_start),
-                       spec.f, spec.c);
-    } catch (const ResourceExhausted& e) {
-      // Graceful degradation: keep the job alive on the best cover so far.
-      outcome.status = JobStatus::kResourceLimit;
-      if (!outcome.detail.empty()) outcome.detail += "; ";
-      outcome.detail += heuristics[h].name + ": " + limit_class_name(e.limit_class());
-      g = best;
-      if (ctx.fallback != nullptr &&
-          ctx.fallback->name != heuristics[h].name) {
-        try {
-          g = run_budgeted(mgr, *ctx.fallback,
-                           heuristic_budget(opts, job_start), spec.f, spec.c);
-          outcome.detail += " (retried on " + ctx.fallback->name + ")";
-        } catch (const ResourceExhausted& e2) {
-          outcome.detail += " (retry on " + ctx.fallback->name + ": " +
-                            limit_class_name(e2.limit_class()) + ")";
-          g = best;
-        } catch (const std::exception& e2) {
+    telemetry::PhaseProfile profile;
+    auto stop = start;
+    {
+      // Collector scope: everything from here through validation is
+      // attributed to a phase (default cover-build; matching and
+      // validation sections switch explicitly).  The `break`s below exit
+      // through this block, flushing the tail into `profile`.
+      const telemetry::TraceScope span(heuristics[h].name, "heuristic");
+      const telemetry::ProfileCollector collect(mgr, &profile);
+      try {
+        g = run_budgeted(mgr, heuristics[h], heuristic_budget(opts, job_start),
+                         spec.f, spec.c);
+      } catch (const ResourceExhausted& e) {
+        // Graceful degradation: keep the job alive on the best cover so far.
+        outcome.status = JobStatus::kResourceLimit;
+        if (!outcome.detail.empty()) outcome.detail += "; ";
+        outcome.detail += heuristics[h].name + ": " + limit_class_name(e.limit_class());
+        g = best;
+        if (ctx.fallback != nullptr &&
+            ctx.fallback->name != heuristics[h].name) {
+          try {
+            g = run_budgeted(mgr, *ctx.fallback,
+                             heuristic_budget(opts, job_start), spec.f, spec.c);
+            outcome.detail += " (retried on " + ctx.fallback->name + ")";
+          } catch (const ResourceExhausted& e2) {
+            outcome.detail += " (retry on " + ctx.fallback->name + ": " +
+                              limit_class_name(e2.limit_class()) + ")";
+            g = best;
+          } catch (const std::exception& e2) {
+            outcome.status = JobStatus::kError;
+            outcome.error = ctx.fallback->name + ": " + e2.what();
+            break;
+          }
+        }
+      } catch (const std::exception& e) {
+        outcome.status = JobStatus::kError;
+        outcome.error = heuristics[h].name + ": " + e.what();
+        break;
+      }
+      stop = Clock::now();
+      covers.emplace_back(mgr, g);
+      {
+        const telemetry::PhaseScope vphase(telemetry::Phase::kValidation);
+        const telemetry::TraceScope vspan("validate", "engine");
+        if (opts.audit_level >= analysis::AuditLevel::kCover) {
+          analysis::AuditReport cover_report;
+          analysis::audit_cover(mgr, spec.f, spec.c, g, heuristics[h].name,
+                                cover_report);
+          if (!cover_report.ok()) {
+            outcome.status = JobStatus::kError;
+            outcome.error = cover_report.findings.front().message;
+            outcome.audit_findings += cover_report.findings.size();
+            break;
+          }
+        } else if (opts.validate_covers && !minimize::is_cover(mgr, g, spec)) {
           outcome.status = JobStatus::kError;
-          outcome.error = ctx.fallback->name + ": " + e2.what();
+          outcome.error = heuristics[h].name + " returned a non-cover";
           break;
         }
       }
-    } catch (const std::exception& e) {
-      outcome.status = JobStatus::kError;
-      outcome.error = heuristics[h].name + ": " + e.what();
-      break;
-    }
-    const auto stop = Clock::now();
-    covers.emplace_back(mgr, g);
-    if (opts.audit_level >= analysis::AuditLevel::kCover) {
-      analysis::AuditReport cover_report;
-      analysis::audit_cover(mgr, spec.f, spec.c, g, heuristics[h].name,
-                            cover_report);
-      if (!cover_report.ok()) {
-        outcome.status = JobStatus::kError;
-        outcome.error = cover_report.findings.front().message;
-        outcome.audit_findings += cover_report.findings.size();
-        break;
-      }
-    } else if (opts.validate_covers && !minimize::is_cover(mgr, g, spec)) {
-      outcome.status = JobStatus::kError;
-      outcome.error = heuristics[h].name + " returned a non-cover";
-      break;
     }
     outcome.results[h].size = count_nodes(mgr, g);
     outcome.results[h].seconds =
         std::chrono::duration<double>(stop - start).count();
+    outcome.results[h].phases = profile;
     outcome.min_size = std::min(outcome.min_size, outcome.results[h].size);
     if (outcome.results[h].size < best_size) {
       best = g;
@@ -224,6 +240,8 @@ JobOutcome process_job(const Job& job, const WorkerContext& ctx) {
     outcome.lower_bound = lb.bound;
   }
   outcome.peak_live = mgr.governor().peak_live_nodes();
+  outcome.counters = mgr.telemetry();
+  telemetry::global().add(outcome.counters);
   outcome.seconds =
       std::chrono::duration<double>(Clock::now() - job_start).count();
   return outcome;
@@ -234,6 +252,8 @@ void worker_loop(WorkStealingQueue& queue, std::span<const Job> jobs,
   std::size_t index = 0;
   while (queue.try_pop(ctx.worker, &index)) {
     JobOutcome outcome;
+    const telemetry::TraceScope span(std::string("job:") + jobs[index].name,
+                                     "engine");
     try {
       outcome = process_job(jobs[index], ctx);
     } catch (const std::exception& e) {
@@ -322,26 +342,40 @@ BatchReport run_batch(std::span<const Job> jobs, const EngineOptions& opts) {
   WorkStealingQueue queue(threads);
   for (std::size_t i = 0; i < jobs.size(); ++i) queue.push(i % threads, i);
   ResultSink sink(jobs.size());
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (unsigned w = 0; w < threads; ++w) {
-    pool.emplace_back([&, w] {
-      const WorkerContext ctx{&effective, &heuristics, fallback, w};
-      worker_loop(queue, jobs, sink, ctx);
-    });
+  {
+    const telemetry::TraceScope batch_span("run_batch", "engine");
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned w = 0; w < threads; ++w) {
+      pool.emplace_back([&, w] {
+        telemetry::Tracer::set_thread_name("worker-" + std::to_string(w));
+        const WorkerContext ctx{&effective, &heuristics, fallback, w};
+        worker_loop(queue, jobs, sink, ctx);
+      });
+    }
+    for (std::thread& t : pool) t.join();
   }
-  for (std::thread& t : pool) t.join();
   report.outcomes = sink.take();
   report.wall_seconds =
       std::chrono::duration<double>(Clock::now() - start).count();
   return report;
 }
 
-std::string report_csv(const BatchReport& report, bool include_timings) {
+std::string report_csv(const BatchReport& report, bool include_timings,
+                       bool include_counters) {
+  using telemetry::Counter;
   std::ostringstream os;
   os << "job,name,vars,status,f_size,c_size,c_onset,min,lower_bound,"
         "audit_findings,error,detail,peak_live";
   for (const std::string& name : report.names) os << ",size_" << name;
+  if (include_counters) {
+    os << ",ut_inserts,ut_hits,cache_hits,cache_misses,gc_runs,gc_reclaimed,"
+          "steps";
+    for (const std::string& name : report.names) {
+      os << ",steps_match_" << name << ",steps_build_" << name
+         << ",steps_valid_" << name;
+    }
+  }
   if (include_timings) {
     for (const std::string& name : report.names) os << ",sec_" << name;
     os << ",job_seconds,worker";
@@ -357,6 +391,19 @@ std::string report_csv(const BatchReport& report, bool include_timings) {
        << ',' << o.audit_findings << ',' << harness::csv_field(o.error)
        << ',' << harness::csv_field(o.detail) << ',' << o.peak_live;
     for (const HeuristicResult& r : o.results) os << ',' << r.size;
+    if (include_counters) {
+      const telemetry::CounterSnapshot& c = o.counters;
+      os << ',' << c.value(Counter::kUniqueInserts) << ','
+         << c.value(Counter::kUniqueHits) << ',' << c.total_cache_hits() << ','
+         << c.total_cache_misses() << ',' << c.value(Counter::kGcRuns) << ','
+         << c.value(Counter::kGcNodesReclaimed) << ','
+         << c.value(Counter::kGovernorSteps);
+      for (const HeuristicResult& r : o.results) {
+        os << ',' << r.phases[telemetry::Phase::kMatching].steps << ','
+           << r.phases[telemetry::Phase::kCoverBuild].steps << ','
+           << r.phases[telemetry::Phase::kValidation].steps;
+      }
+    }
     if (include_timings) {
       for (const HeuristicResult& r : o.results) {
         std::snprintf(buf, sizeof buf, "%.6f", r.seconds);

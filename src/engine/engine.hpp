@@ -40,6 +40,8 @@
 #include "analysis/audit.hpp"
 #include "engine/job.hpp"
 #include "minimize/registry.hpp"
+#include "telemetry/counters.hpp"
+#include "telemetry/profile.hpp"
 
 namespace bddmin::engine {
 
@@ -106,6 +108,11 @@ struct EngineOptions {
 struct HeuristicResult {
   std::size_t size = 0;   ///< cover node count incl. terminal (0 = not run)
   double seconds = 0.0;   ///< wall time; non-deterministic
+  /// Per-phase time and counter deltas (matching / cover-build /
+  /// validation).  The step and counter splits are deterministic — each
+  /// job runs in a fresh manager — the seconds are not.  All-zero when
+  /// telemetry is compiled out.
+  telemetry::PhaseProfile phases;
 };
 
 struct JobOutcome {
@@ -128,6 +135,10 @@ struct JobOutcome {
   /// Peak live-node count of the worker manager over the whole job — the
   /// memory high-water mark.  Deterministic (one fresh manager per job).
   std::size_t peak_live = 0;
+  /// Final telemetry counters of the worker manager (whole job: decode,
+  /// every heuristic, validation, audits).  Deterministic across thread
+  /// counts; all-zero when telemetry is compiled out.
+  telemetry::CounterSnapshot counters;
   unsigned worker = 0;                   ///< informational; non-deterministic
   double seconds = 0.0;                  ///< total job wall time
 };
@@ -148,8 +159,12 @@ struct BatchReport {
 /// CSV of the report, one row per job in submission order.  The default
 /// column set is deterministic across thread counts; `include_timings`
 /// appends per-heuristic seconds, job seconds and the worker id, which
-/// are not.
+/// are not.  `include_counters` appends per-job telemetry counters and
+/// per-heuristic phase step splits — deterministic, so byte-identity
+/// across thread counts extends to them (all zeros when telemetry is
+/// compiled out).
 [[nodiscard]] std::string report_csv(const BatchReport& report,
-                                     bool include_timings = false);
+                                     bool include_timings = false,
+                                     bool include_counters = false);
 
 }  // namespace bddmin::engine

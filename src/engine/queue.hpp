@@ -17,6 +17,8 @@
 #include <mutex>
 #include <vector>
 
+#include "telemetry/trace.hpp"
+
 namespace bddmin::engine {
 
 class WorkStealingQueue {
@@ -60,6 +62,7 @@ class WorkStealingQueue {
       if (!d.items.empty()) {
         *out = d.items.back();
         d.items.pop_back();
+        telemetry::trace_instant("steal", "engine");
         return true;
       }
     }

@@ -7,6 +7,7 @@
 #include "analysis/cover_audit.hpp"
 #include "bdd/bdd.hpp"
 #include "bdd/ops.hpp"
+#include "telemetry/counters.hpp"
 
 namespace bddmin::harness {
 
@@ -44,9 +45,11 @@ Edge Interceptor::process(Manager& mgr, Edge f, Edge c) {
   using Clock = std::chrono::steady_clock;
   for (const minimize::Heuristic& h : heuristics_) {
     if (opts_.flush_between) mgr.garbage_collect();
+    const telemetry::CounterSnapshot before = mgr.telemetry();
     const auto start = Clock::now();
     const Edge g = h.run(mgr, f, c);
     const auto stop = Clock::now();
+    const telemetry::CounterSnapshot delta = mgr.telemetry() - before;
     if (opts_.audit_level >= analysis::AuditLevel::kCover) {
       // Contract audit with witness diagnostics instead of the bare check.
       analysis::AuditReport cover_report;
@@ -68,6 +71,9 @@ Edge Interceptor::process(Manager& mgr, Edge f, Edge c) {
     HeuristicOutcome outcome;
     outcome.size = count_nodes(mgr, g);
     outcome.seconds = std::chrono::duration<double>(stop - start).count();
+    outcome.cache_hits = delta.total_cache_hits();
+    outcome.cache_misses = delta.total_cache_misses();
+    outcome.steps = delta.value(telemetry::Counter::kGovernorSteps);
     record.min_size = std::min(record.min_size, outcome.size);
     record.outcomes.push_back(outcome);
   }

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,11 @@ namespace bddmin::harness {
 struct HeuristicOutcome {
   std::size_t size = 0;
   double seconds = 0.0;
+  // Telemetry counter deltas over this one run (all zero when the
+  // counters are compiled out).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t steps = 0;  ///< governor steps (memo misses)
 };
 
 struct CallRecord {

@@ -1,0 +1,104 @@
+#include "harness/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace bddmin::harness {
+
+void JsonWriter::comma() {
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back()) out_ += ',';
+    needs_comma_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma();
+  out_ += '{';
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  out_ += '}';
+  needs_comma_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma();
+  out_ += '[';
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  out_ += ']';
+  needs_comma_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  comma();
+  out_ += '"';
+  for (const char ch : name) {
+    if (ch == '"' || ch == '\\') out_ += '\\';
+    out_ += ch;
+  }
+  out_ += "\":";
+  if (!needs_comma_.empty()) needs_comma_.back() = false;  // value follows
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& s) {
+  comma();
+  out_ += '"';
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out_ += "\\\""; break;
+      case '\\': out_ += "\\\\"; break;
+      case '\n': out_ += "\\n"; break;
+      case '\t': out_ += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out_ += buf;
+        } else {
+          out_ += ch;
+        }
+    }
+  }
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* s) { return value(std::string(s)); }
+
+JsonWriter& JsonWriter::value(double d) {
+  comma();
+  if (!std::isfinite(d)) {
+    out_ += "null";
+    return *this;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", d);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t u) {
+  comma();
+  out_ += std::to_string(u);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool b) {
+  comma();
+  out_ += b ? "true" : "false";
+  return *this;
+}
+
+std::string JsonWriter::str() const { return out_ + "\n"; }
+
+}  // namespace bddmin::harness

@@ -1,0 +1,45 @@
+/// \file json.hpp
+/// \brief Minimal streaming JSON writer for the BENCH_*.json perf
+/// trajectory files.  Handles nesting, comma placement, string escaping
+/// and locale-independent number formatting; no reading, no DOM.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bddmin::harness {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  /// Key for the next value (objects only).
+  JsonWriter& key(const std::string& name);
+  JsonWriter& value(const std::string& s);
+  JsonWriter& value(const char* s);
+  JsonWriter& value(double d);        ///< %.6g; NaN/inf emitted as null
+  JsonWriter& value(std::uint64_t u);
+  JsonWriter& value(int i) { return value(static_cast<std::uint64_t>(i < 0 ? 0 : i)); }
+  JsonWriter& value(unsigned u) { return value(static_cast<std::uint64_t>(u)); }
+  JsonWriter& value(bool b);
+
+  /// key() + value() in one call.
+  template <class T>
+  JsonWriter& kv(const std::string& name, T&& v) {
+    key(name);
+    return value(std::forward<T>(v));
+  }
+
+  /// The finished text (call after closing every scope); ends with '\n'.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  void comma();
+  std::string out_;
+  std::vector<bool> needs_comma_;  // one flag per open scope
+};
+
+}  // namespace bddmin::harness

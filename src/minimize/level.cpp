@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "analysis/check.hpp"
+#include "telemetry/profile.hpp"
 
 namespace bddmin::minimize {
 namespace {
@@ -86,6 +87,7 @@ double path_distance(const CubeVec& a, const CubeVec& b) {
 }
 
 std::vector<std::size_t> fmm_osm(Manager& mgr, std::span<const IncSpec> specs) {
+  const telemetry::PhaseScope phase(telemetry::Phase::kMatching);
   const std::size_t r = specs.size();
   // adjacency[j*r + k] = 1 iff [f_j, c_j] osm [f_k, c_k]
   std::vector<std::uint8_t> adjacency(r * r, 0);
@@ -117,6 +119,7 @@ std::vector<std::size_t> fmm_osm(Manager& mgr, std::span<const IncSpec> specs) {
 
 CliqueCover fmm_tsm(Manager& mgr, std::span<const IncSpec> specs,
                     std::span<const CubeVec> paths, const LevelOptions& opts) {
+  const telemetry::PhaseScope phase(telemetry::Phase::kMatching);
   const std::size_t r = specs.size();
   std::vector<std::uint8_t> adjacency(r * r, 0);
   std::vector<std::size_t> degree(r, 0);
@@ -180,6 +183,7 @@ CliqueCover fmm_tsm(Manager& mgr, std::span<const IncSpec> specs,
 
 IncSpec merge_clique(Manager& mgr, std::span<const IncSpec> specs,
                      std::span<const std::size_t> members) {
+  const telemetry::PhaseScope phase(telemetry::Phase::kCoverBuild);
   Edge f = kZero;
   Edge c = kZero;
   for (const std::size_t j : members) {
@@ -221,6 +225,7 @@ struct Substituter {
 IncSpec substitute_at_level(
     Manager& mgr, IncSpec spec, std::uint32_t level,
     const std::unordered_map<std::uint64_t, IncSpec>& replacement) {
+  const telemetry::PhaseScope phase(telemetry::Phase::kCoverBuild);
   Substituter sub{mgr, level, replacement, {}};
   return sub.rebuild(spec.f, spec.c);
 }

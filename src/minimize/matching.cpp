@@ -1,6 +1,7 @@
 #include "minimize/matching.hpp"
 
 #include "analysis/check.hpp"
+#include "telemetry/profile.hpp"
 
 namespace bddmin::minimize {
 
@@ -14,6 +15,7 @@ std::string_view to_string(Criterion crit) noexcept {
 }
 
 bool matches(Manager& mgr, Criterion crit, IncSpec a, IncSpec b) {
+  const telemetry::PhaseScope phase(telemetry::Phase::kMatching);
   switch (crit) {
     case Criterion::kOsdm:
       return a.c == kZero;
@@ -29,6 +31,7 @@ bool matches(Manager& mgr, Criterion crit, IncSpec a, IncSpec b) {
 
 IncSpec match_result(Manager& mgr, Criterion crit, IncSpec a, IncSpec b) {
   BDDMIN_DCHECK(matches(mgr, crit, a, b));
+  const telemetry::PhaseScope phase(telemetry::Phase::kMatching);
   switch (crit) {
     case Criterion::kOsdm:
     case Criterion::kOsm:

@@ -3,6 +3,7 @@
 #include <unordered_map>
 
 #include "analysis/check.hpp"
+#include "telemetry/profile.hpp"
 
 namespace bddmin::minimize {
 namespace {
@@ -71,6 +72,9 @@ struct TopDown {
 
 Edge generic_td(Manager& mgr, const SiblingOptions& opts, Edge f, Edge c) {
   if (c == kZero) return f;  // no care points: any function covers; keep f
+  // The traversal itself is result construction; the matching criteria it
+  // calls re-scope themselves to kMatching.
+  const telemetry::PhaseScope phase(telemetry::Phase::kCoverBuild);
   TopDown ctx{mgr, opts, {}};
   return ctx.run(f, c);
 }
@@ -152,6 +156,7 @@ struct MixedTopDown {
 
 Edge mixed_td(Manager& mgr, const MixedOptions& opts, Edge f, Edge c) {
   if (c == kZero || c == kOne) return f;
+  const telemetry::PhaseScope phase(telemetry::Phase::kCoverBuild);
   MixedTopDown ctx{mgr, opts, {}};
   return ctx.run(f, c);
 }
@@ -199,6 +204,7 @@ struct WindowPass {
 
 IncSpec sibling_window_pass(Manager& mgr, Criterion crit, std::uint32_t lo_level,
                             std::uint32_t hi_level, IncSpec spec) {
+  const telemetry::PhaseScope phase(telemetry::Phase::kCoverBuild);
   WindowPass ctx{mgr, crit, lo_level, hi_level, {}};
   return ctx.run(spec);
 }

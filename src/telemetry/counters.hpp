@@ -1,0 +1,197 @@
+/// \file counters.hpp
+/// \brief Core counter registry: per-Manager event counters with
+/// zero-overhead-when-disabled semantics, plus a process-global aggregate.
+///
+/// Design:
+///  * Each Manager owns one CounterBank — a plain array of uint64, no
+///    atomics, because a Manager is strictly single-threaded.  Bumping a
+///    counter is one increment on a cache-resident line; compiling with
+///    `-DBDDMIN_TELEMETRY=OFF` (which defines BDDMIN_NO_TELEMETRY) turns
+///    every bump into a no-op so the hot paths carry literally nothing.
+///  * `Manager::telemetry()` returns a CounterSnapshot — a value copy that
+///    supports delta arithmetic, so callers measure "what did this
+///    operation cost" as `after - before`.  Snapshots are deterministic:
+///    they count structural events (inserts, memo misses), never time.
+///  * `global()` is the process-wide aggregate the batch-engine workers
+///    flush their per-job banks into; it is the only concurrently written
+///    piece and therefore uses relaxed atomics (exercised under TSan).
+///
+/// This header is dependency-free by design: bdd/manager.hpp includes it.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace bddmin::telemetry {
+
+#if defined(BDDMIN_NO_TELEMETRY)
+inline constexpr bool kCountersEnabled = false;
+#else
+inline constexpr bool kCountersEnabled = true;
+#endif
+
+/// Every counted event.  Cache hit/miss pairs must stay adjacent
+/// (hit = base, miss = base + 1): the manager classifies an op tag once
+/// and indexes the pair.
+enum class Counter : unsigned {
+  kUniqueInserts = 0,    ///< new node slots claimed by unique_insert
+  kUniqueHits,           ///< unique_insert found an existing node
+  kIteCacheHits,         ///< computed-cache, op class ITE
+  kIteCacheMisses,
+  kCofactorCacheHits,    ///< op class cofactor
+  kCofactorCacheMisses,
+  kQuantifyCacheHits,    ///< op classes exists / and_exists
+  kQuantifyCacheMisses,
+  kComposeCacheHits,     ///< op class compose
+  kComposeCacheMisses,
+  kUserCacheHits,        ///< client tags (>= Manager::kUserOpBase)
+  kUserCacheMisses,
+  kGcRuns,               ///< garbage_collect() passes
+  kGcNodesReclaimed,     ///< nodes freed by garbage_collect()
+  kReorderNodesFreed,    ///< nodes freed inline by swap_adjacent_levels()
+  kSiftSwaps,            ///< adjacent-level swaps executed
+  kGovernorSteps,        ///< recursion steps charged (memoization misses)
+  kCount,
+};
+
+inline constexpr std::size_t kNumCounters =
+    static_cast<std::size_t>(Counter::kCount);
+
+/// Stable short name ("unique_inserts", "ite_cache_hits", ...).
+[[nodiscard]] const char* counter_name(Counter c) noexcept;
+
+/// Computed-cache op classes, as exposed per counter pair.
+enum class CacheOpClass : unsigned { kIte, kCofactor, kQuantify, kCompose, kUser };
+
+[[nodiscard]] constexpr Counter cache_hit_counter(CacheOpClass cls) noexcept {
+  switch (cls) {
+    case CacheOpClass::kIte: return Counter::kIteCacheHits;
+    case CacheOpClass::kCofactor: return Counter::kCofactorCacheHits;
+    case CacheOpClass::kQuantify: return Counter::kQuantifyCacheHits;
+    case CacheOpClass::kCompose: return Counter::kComposeCacheHits;
+    case CacheOpClass::kUser: return Counter::kUserCacheHits;
+  }
+  return Counter::kUserCacheHits;
+}
+
+/// A value snapshot of one bank; supports delta arithmetic.  Always a real
+/// struct (all zeros when telemetry is compiled out) so downstream code —
+/// reports, CSV columns, audits — compiles unconditionally.
+struct CounterSnapshot {
+  std::array<std::uint64_t, kNumCounters> values{};
+
+  [[nodiscard]] std::uint64_t value(Counter c) const noexcept {
+    return values[static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] std::uint64_t total_cache_hits() const noexcept {
+    return value(Counter::kIteCacheHits) + value(Counter::kCofactorCacheHits) +
+           value(Counter::kQuantifyCacheHits) +
+           value(Counter::kComposeCacheHits) + value(Counter::kUserCacheHits);
+  }
+  [[nodiscard]] std::uint64_t total_cache_misses() const noexcept {
+    return value(Counter::kIteCacheMisses) +
+           value(Counter::kCofactorCacheMisses) +
+           value(Counter::kQuantifyCacheMisses) +
+           value(Counter::kComposeCacheMisses) +
+           value(Counter::kUserCacheMisses);
+  }
+
+  CounterSnapshot& operator+=(const CounterSnapshot& o) noexcept {
+    for (std::size_t i = 0; i < kNumCounters; ++i) values[i] += o.values[i];
+    return *this;
+  }
+  /// Delta (this - o); callers guarantee monotonicity (same bank, later
+  /// snapshot on the left).
+  [[nodiscard]] CounterSnapshot operator-(const CounterSnapshot& o) const noexcept {
+    CounterSnapshot d;
+    for (std::size_t i = 0; i < kNumCounters; ++i) {
+      d.values[i] = values[i] - o.values[i];
+    }
+    return d;
+  }
+  [[nodiscard]] bool operator==(const CounterSnapshot&) const noexcept = default;
+};
+
+#if defined(BDDMIN_NO_TELEMETRY)
+
+/// Compiled-out bank: every operation is an empty inline no-op; the
+/// snapshot is all zeros.  sizeof(CounterBank) stays minimal and the hot
+/// paths contain no loads, stores or branches for telemetry.
+class CounterBank {
+ public:
+  void bump(Counter) noexcept {}
+  void add(Counter, std::uint64_t) noexcept {}
+  void reset() noexcept {}
+  [[nodiscard]] std::uint64_t value(Counter) const noexcept { return 0; }
+  [[nodiscard]] CounterSnapshot snapshot() const noexcept { return {}; }
+  /// Slot pointer for the governor's step accounting; null disables it.
+  [[nodiscard]] std::uint64_t* step_slot() noexcept { return nullptr; }
+};
+
+#else
+
+/// Per-Manager counter bank.  Plain uint64 — the owning Manager is
+/// single-threaded, so a bump is one increment, no synchronization.
+class CounterBank {
+ public:
+  void bump(Counter c) noexcept { ++values_[static_cast<std::size_t>(c)]; }
+  void add(Counter c, std::uint64_t n) noexcept {
+    values_[static_cast<std::size_t>(c)] += n;
+  }
+  void reset() noexcept { values_ = {}; }
+  [[nodiscard]] std::uint64_t value(Counter c) const noexcept {
+    return values_[static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] CounterSnapshot snapshot() const noexcept {
+    CounterSnapshot s;
+    s.values = values_;
+    return s;
+  }
+  /// Direct slot for Counter::kGovernorSteps so the governor can charge
+  /// steps without depending on this header's enum.
+  [[nodiscard]] std::uint64_t* step_slot() noexcept {
+    return &values_[static_cast<std::size_t>(Counter::kGovernorSteps)];
+  }
+
+ private:
+  std::array<std::uint64_t, kNumCounters> values_{};
+};
+
+#endif  // BDDMIN_NO_TELEMETRY
+
+/// Process-wide aggregate.  Workers flush one whole-job snapshot at job
+/// end (coarse-grained), so relaxed atomics suffice: there is no ordering
+/// relationship to protect, only the final sums.
+class GlobalCounters {
+ public:
+  void add(const CounterSnapshot& s) noexcept {
+    for (std::size_t i = 0; i < kNumCounters; ++i) {
+      values_[i].fetch_add(s.values[i], std::memory_order_relaxed);
+    }
+  }
+  [[nodiscard]] CounterSnapshot snapshot() const noexcept {
+    CounterSnapshot s;
+    for (std::size_t i = 0; i < kNumCounters; ++i) {
+      s.values[i] = values_[i].load(std::memory_order_relaxed);
+    }
+    return s;
+  }
+  void reset() noexcept {
+    for (auto& v : values_) v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kNumCounters> values_{};
+};
+
+/// The process-global aggregate (never destroyed).
+[[nodiscard]] GlobalCounters& global() noexcept;
+
+/// Prometheus text exposition of a snapshot: one `bddmin_*_total` family
+/// per structural counter, plus a labelled
+/// `bddmin_cache_lookups_total{op=...,outcome=...}` family.
+[[nodiscard]] std::string prometheus_text(const CounterSnapshot& s);
+
+}  // namespace bddmin::telemetry

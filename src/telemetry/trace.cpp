@@ -1,0 +1,500 @@
+#include "telemetry/trace.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace bddmin::telemetry {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct TraceEvent {
+  std::string name;
+  const char* cat = "";
+  char ph = 'X';
+  std::uint64_t ts_ns = 0;   // relative to trace start
+  std::uint64_t dur_ns = 0;  // X events only
+};
+
+struct OpenSpan {
+  std::string name;
+  const char* cat;
+  std::uint64_t start_ns;
+};
+
+/// One thread's buffer.  The owning thread appends under the per-log
+/// mutex; stop() takes the same mutex when merging, so a scope closing
+/// concurrently with shutdown is never torn.
+struct ThreadLog {
+  std::mutex mu;
+  std::uint32_t tid = 0;
+  std::uint64_t generation = 0;
+  std::string thread_name;
+  std::vector<TraceEvent> events;
+  std::vector<OpenSpan> stack;
+};
+
+void json_escape(std::string* out, const std::string& s) {
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          *out += buf;
+        } else {
+          *out += ch;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+struct Tracer::Impl {
+  std::mutex mu;  // guards logs / next_tid / path / generation
+  std::vector<std::shared_ptr<ThreadLog>> logs;
+  std::uint32_t next_tid = 1;
+  std::uint64_t generation = 0;
+  std::string path;
+  Clock::time_point epoch{};
+
+  std::shared_ptr<ThreadLog> log_for_this_thread() {
+    thread_local std::shared_ptr<ThreadLog> cached;
+    if (cached && cached->generation == generation) return cached;
+    auto fresh = std::make_shared<ThreadLog>();
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      fresh->tid = next_tid++;
+      fresh->generation = generation;
+      logs.push_back(fresh);
+    }
+    cached = fresh;
+    return fresh;
+  }
+
+  [[nodiscard]] std::uint64_t now_ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             epoch)
+            .count());
+  }
+};
+
+namespace detail {
+std::atomic<Tracer*> g_tracer{nullptr};
+std::atomic<bool> g_env_checked{false};
+namespace {
+std::mutex g_lifecycle_mu;  // serializes start/stop/env-check
+}  // namespace
+
+}  // namespace detail
+
+Tracer* Tracer::singleton() {
+  static Tracer* t = [] {
+    auto* fresh = new Tracer();  // never destroyed: scopes may outlive stop()
+    fresh->impl_ = new Tracer::Impl();
+    return fresh;
+  }();
+  return t;
+}
+
+namespace detail {
+Tracer* check_env() noexcept {
+  const std::lock_guard<std::mutex> lock(g_lifecycle_mu);
+  if (g_env_checked.load(std::memory_order_acquire)) {
+    return g_tracer.load(std::memory_order_acquire);
+  }
+  Tracer* activated = nullptr;
+  if (const char* path = std::getenv("BDDMIN_TRACE"); path && *path) {
+    Tracer* t = Tracer::singleton();
+    t->impl_->path = path;
+    t->impl_->epoch = Clock::now();
+    ++t->impl_->generation;
+    g_tracer.store(t, std::memory_order_release);
+    std::atexit([] { (void)Tracer::stop(); });
+    activated = t;
+  }
+  g_env_checked.store(true, std::memory_order_release);
+  return activated;
+}
+}  // namespace detail
+
+bool Tracer::start(const std::string& path) {
+  const std::lock_guard<std::mutex> lock(detail::g_lifecycle_mu);
+  detail::g_env_checked.store(true, std::memory_order_release);  // env loses
+  if (detail::g_tracer.load(std::memory_order_acquire) != nullptr) {
+    return false;
+  }
+  Tracer* t = singleton();
+  const std::lock_guard<std::mutex> impl_lock(t->impl_->mu);
+  t->impl_->path = path;
+  t->impl_->epoch = Clock::now();
+  t->impl_->logs.clear();
+  t->impl_->next_tid = 1;
+  ++t->impl_->generation;  // invalidates thread-local cached logs
+  detail::g_tracer.store(t, std::memory_order_release);
+  return true;
+}
+
+std::string Tracer::stop() {
+  const std::lock_guard<std::mutex> lock(detail::g_lifecycle_mu);
+  Tracer* t = detail::g_tracer.exchange(nullptr, std::memory_order_acq_rel);
+  if (t == nullptr) return "";
+  Impl& impl = *t->impl_;
+  std::vector<std::shared_ptr<ThreadLog>> logs;
+  std::string path;
+  std::uint64_t end_ns = 0;
+  {
+    const std::lock_guard<std::mutex> impl_lock(impl.mu);
+    logs = impl.logs;
+    path = impl.path;
+    end_ns = impl.now_ns();
+  }
+
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  char buf[64];
+  const auto emit = [&](const std::string& body) {
+    if (!first) out += ',';
+    first = false;
+    out += body;
+  };
+  for (const auto& log : logs) {
+    const std::lock_guard<std::mutex> log_lock(log->mu);
+    if (!log->thread_name.empty()) {
+      std::string body = "{\"ph\":\"M\",\"pid\":1,\"tid\":";
+      body += std::to_string(log->tid);
+      body += ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+      json_escape(&body, log->thread_name);
+      body += "\"}}";
+      emit(body);
+    }
+    // Close any span still open at shutdown so the file stays well formed.
+    while (!log->stack.empty()) {
+      const OpenSpan& open = log->stack.back();
+      TraceEvent ev;
+      ev.name = open.name;
+      ev.cat = open.cat;
+      ev.ts_ns = open.start_ns;
+      ev.dur_ns = end_ns > open.start_ns ? end_ns - open.start_ns : 0;
+      log->events.push_back(std::move(ev));
+      log->stack.pop_back();
+    }
+    for (const TraceEvent& ev : log->events) {
+      std::string body = "{\"ph\":\"";
+      body += ev.ph;
+      body += "\",\"pid\":1,\"tid\":";
+      body += std::to_string(log->tid);
+      std::snprintf(buf, sizeof buf, ",\"ts\":%.3f",
+                    static_cast<double>(ev.ts_ns) / 1000.0);
+      body += buf;
+      if (ev.ph == 'X') {
+        std::snprintf(buf, sizeof buf, ",\"dur\":%.3f",
+                      static_cast<double>(ev.dur_ns) / 1000.0);
+        body += buf;
+      }
+      if (ev.ph == 'i') body += ",\"s\":\"t\"";
+      body += ",\"cat\":\"";
+      json_escape(&body, ev.cat);
+      body += "\",\"name\":\"";
+      json_escape(&body, ev.name);
+      body += "\"}";
+      emit(body);
+    }
+    log->events.clear();
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}\n";
+  {
+    const std::lock_guard<std::mutex> impl_lock(impl.mu);
+    impl.logs.clear();
+  }
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "telemetry: cannot write trace file %s\n",
+                 path.c_str());
+    return "";
+  }
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  return path;
+}
+
+void Tracer::set_thread_name(const std::string& name) {
+  Tracer* t = active();
+  if (t == nullptr) return;
+  const auto log = t->impl_->log_for_this_thread();
+  const std::lock_guard<std::mutex> lock(log->mu);
+  log->thread_name = name;
+}
+
+void Tracer::begin(std::string name, const char* cat) {
+  const auto log = impl_->log_for_this_thread();
+  const std::lock_guard<std::mutex> lock(log->mu);
+  log->stack.push_back(OpenSpan{std::move(name), cat, impl_->now_ns()});
+}
+
+void Tracer::end() {
+  const auto log = impl_->log_for_this_thread();
+  const std::lock_guard<std::mutex> lock(log->mu);
+  if (log->stack.empty()) return;  // stop() already closed it
+  OpenSpan open = std::move(log->stack.back());
+  log->stack.pop_back();
+  const std::uint64_t now = impl_->now_ns();
+  TraceEvent ev;
+  ev.name = std::move(open.name);
+  ev.cat = open.cat;
+  ev.ts_ns = open.start_ns;
+  ev.dur_ns = now > open.start_ns ? now - open.start_ns : 0;
+  log->events.push_back(std::move(ev));
+}
+
+void Tracer::instant(std::string name, const char* cat) {
+  const auto log = impl_->log_for_this_thread();
+  const std::lock_guard<std::mutex> lock(log->mu);
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.cat = cat;
+  ev.ph = 'i';
+  ev.ts_ns = impl_->now_ns();
+  log->events.push_back(std::move(ev));
+}
+
+// ---------------------------------------------------------------------
+// validate_trace: a minimal JSON reader sufficient for trace files.
+// ---------------------------------------------------------------------
+
+namespace {
+
+/// Parsed JSON value (only what the validator needs).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind =
+      Kind::kNull;
+  double number = 0.0;
+  bool boolean = false;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  bool parse(JsonValue* out) {
+    skip_ws();
+    if (!value(out)) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+  [[nodiscard]] std::string error() const {
+    return "JSON parse error near offset " + std::to_string(pos_);
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool literal(const char* word) {
+    const std::size_t n = std::strlen(word);
+    if (s_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  bool value(JsonValue* out) {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object(out);
+      case '[': return array(out);
+      case '"': out->kind = JsonValue::Kind::kString; return string(&out->string);
+      case 't': out->kind = JsonValue::Kind::kBool; out->boolean = true;
+                return literal("true");
+      case 'f': out->kind = JsonValue::Kind::kBool; out->boolean = false;
+                return literal("false");
+      case 'n': out->kind = JsonValue::Kind::kNull; return literal("null");
+      default: return number(out);
+    }
+  }
+  bool string(std::string* out) {
+    if (s_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        switch (s_[pos_]) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'n': *out += '\n'; break;
+          case 'r': *out += '\r'; break;
+          case 't': *out += '\t'; break;
+          case 'b': *out += '\b'; break;
+          case 'f': *out += '\f'; break;
+          case 'u':
+            if (pos_ + 4 >= s_.size()) return false;
+            *out += '?';  // code point fidelity is irrelevant here
+            pos_ += 4;
+            break;
+          default: return false;
+        }
+        ++pos_;
+      } else {
+        *out += s_[pos_++];
+      }
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool number(JsonValue* out) {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '-' || s_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = std::strtod(s_.substr(start, pos_ - start).c_str(), nullptr);
+    return true;
+  }
+  bool array(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == ']') { ++pos_; return true; }
+    while (true) {
+      JsonValue element;
+      skip_ws();
+      if (!value(&element)) return false;
+      out->array.push_back(std::move(element));
+      skip_ws();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') { ++pos_; continue; }
+      if (s_[pos_] == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool object(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (pos_ >= s_.size() || !string(&key)) return false;
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] != ':') return false;
+      ++pos_;
+      skip_ws();
+      JsonValue element;
+      if (!value(&element)) return false;
+      out->object.emplace(std::move(key), std::move(element));
+      skip_ws();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') { ++pos_; continue; }
+      if (s_[pos_] == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string validate_trace(const std::string& json) {
+  JsonParser parser(json);
+  JsonValue root;
+  if (!parser.parse(&root)) return parser.error();
+  if (root.kind != JsonValue::Kind::kObject) return "root is not an object";
+  const auto it = root.object.find("traceEvents");
+  if (it == root.object.end()) return "missing traceEvents";
+  if (it->second.kind != JsonValue::Kind::kArray) {
+    return "traceEvents is not an array";
+  }
+
+  struct Span {
+    double ts, dur;
+    std::string name;
+  };
+  std::map<double, std::vector<Span>> per_tid;
+  for (const JsonValue& ev : it->second.array) {
+    if (ev.kind != JsonValue::Kind::kObject) return "event is not an object";
+    const auto field = [&](const char* key) -> const JsonValue* {
+      const auto f = ev.object.find(key);
+      return f == ev.object.end() ? nullptr : &f->second;
+    };
+    const JsonValue* ph = field("ph");
+    const JsonValue* name = field("name");
+    const JsonValue* tid = field("tid");
+    if (ph == nullptr || ph->kind != JsonValue::Kind::kString) {
+      return "event missing ph";
+    }
+    if (name == nullptr || name->kind != JsonValue::Kind::kString) {
+      return "event missing name";
+    }
+    if (tid == nullptr || tid->kind != JsonValue::Kind::kNumber) {
+      return "event missing tid";
+    }
+    if (ph->string == "X") {
+      const JsonValue* ts = field("ts");
+      const JsonValue* dur = field("dur");
+      if (ts == nullptr || ts->kind != JsonValue::Kind::kNumber) {
+        return "X event missing ts";
+      }
+      if (dur == nullptr || dur->kind != JsonValue::Kind::kNumber) {
+        return "X event missing dur";
+      }
+      per_tid[tid->number].push_back({ts->number, dur->number, name->string});
+    } else if (ph->string != "i" && ph->string != "M") {
+      return "unexpected ph \"" + ph->string + "\"";
+    }
+  }
+
+  // Strict nesting per track: sort by (start asc, duration desc); each
+  // span must lie entirely inside the innermost span still open.
+  for (auto& [tid, spans] : per_tid) {
+    std::stable_sort(spans.begin(), spans.end(), [](const Span& a, const Span& b) {
+      if (a.ts != b.ts) return a.ts < b.ts;
+      return a.dur > b.dur;
+    });
+    constexpr double kEps = 1e-3;  // emitted with 3 decimals (ns resolution)
+    std::vector<double> open_ends;
+    for (const Span& s : spans) {
+      while (!open_ends.empty() && open_ends.back() <= s.ts + kEps) {
+        open_ends.pop_back();
+      }
+      if (!open_ends.empty() && s.ts + s.dur > open_ends.back() + kEps) {
+        return "span \"" + s.name + "\" overlaps its parent on tid " +
+               std::to_string(tid);
+      }
+      open_ends.push_back(s.ts + s.dur);
+    }
+  }
+  return "";
+}
+
+}  // namespace bddmin::telemetry

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <random>
 #include <sstream>
@@ -103,6 +104,34 @@ TEST(Stats, BucketsPartitionTheRecords) {
                                            table.mid.total_size[h] +
                                            table.high.total_size[h]);
   }
+}
+
+TEST(Stats, EmptyMidBucketRendersWithoutNans) {
+  // All calls fall in the <5% / >95% buckets, so mid has zero calls and a
+  // zero total_min; pct_of_min must stay finite (and zero) instead of
+  // dividing by zero, and the rendered table must not contain "nan".
+  const std::vector<std::string> names = {"alpha", "beta"};
+  std::vector<CallRecord> records;
+  for (const double onset : {0.01, 0.99}) {
+    CallRecord r;
+    r.f_size = 10;
+    r.c_onset = onset;
+    r.outcomes = {{4, 0.0}, {6, 0.0}};
+    r.min_size = 4;
+    r.lower_bound = 2;
+    records.push_back(r);
+  }
+  const Table3 table = aggregate_table3(names, records);
+  EXPECT_EQ(table.mid.calls, 0u);
+  EXPECT_EQ(table.mid.total_min, 0u);
+  for (std::size_t h = 0; h < names.size(); ++h) {
+    const double pct = table.mid.pct_of_min(h);
+    EXPECT_TRUE(std::isfinite(pct)) << names[h];
+    EXPECT_EQ(pct, 0.0) << names[h];
+  }
+  const std::string text = render_table3(table);
+  EXPECT_EQ(text.find("nan"), std::string::npos);
+  EXPECT_EQ(text.find("inf"), std::string::npos);
 }
 
 TEST(Stats, RanksAreConsistentWithTotals) {

@@ -45,7 +45,15 @@
 ///     job to a still-valid cover — retried once on --fallback-heuristic
 ///     when given — and the job finishes `resource-limit`, not `error`.
 ///     The CSV is byte-identical for any --threads value; --timings
-///     appends the non-deterministic timing columns.
+///     appends the non-deterministic timing columns and --counters the
+///     deterministic telemetry counter / phase-step columns.
+///
+/// bddmin_cli stats [batch flags]
+///     Run the same batch as `batch` (all flags accepted) and print the
+///     process-wide telemetry counters as Prometheus text exposition —
+///     unique-table inserts/hits, computed-cache hits/misses per op
+///     class, GC work, sift swaps and governor steps.  Set
+///     BDDMIN_TRACE=<file> to also capture a Chrome trace of the run.
 ///
 /// Exit codes: 0 every job ok; 3 at least one job errored (genuine bug);
 /// 4 no errors but some jobs degraded (resource-limit, timeout or
@@ -74,6 +82,7 @@
 #include "harness/render.hpp"
 #include "minimize/registry.hpp"
 #include "pla/pla.hpp"
+#include "telemetry/counters.hpp"
 
 namespace {
 
@@ -331,33 +340,36 @@ int cmd_audit(int argc, char** argv) {
   return report.ok() ? 0 : 3;
 }
 
-int cmd_batch(int argc, char** argv) {
-  const auto int_flag = [&](const char* flag, long fallback) {
-    const char* raw = flag_value(argc, argv, flag);
-    return raw ? std::atol(raw) : fallback;
-  };
+long int_flag(int argc, char** argv, const char* flag, long fallback) {
+  const char* raw = flag_value(argc, argv, flag);
+  return raw ? std::atol(raw) : fallback;
+}
 
-  std::vector<engine::Job> jobs;
+/// The job set of `batch` / `stats`: PLA outputs or seeded random pairs.
+std::vector<engine::Job> batch_jobs(int argc, char** argv) {
   if (const char* path = flag_value(argc, argv, "--pla")) {
-    jobs = engine::pla_jobs(pla::parse_pla(slurp(path), path));
-  } else {
-    const unsigned count = static_cast<unsigned>(int_flag("--jobs", 32));
-    const unsigned vars = static_cast<unsigned>(int_flag("--vars", 8));
-    const std::uint64_t seed =
-        static_cast<std::uint64_t>(int_flag("--seed", 1));
-    const char* draw = flag_value(argc, argv, "--density");
-    const double density = draw ? std::atof(draw) : 0.3;
-    jobs = engine::random_jobs(count, vars, density, seed);
+    return engine::pla_jobs(pla::parse_pla(slurp(path), path));
   }
+  const unsigned count =
+      static_cast<unsigned>(int_flag(argc, argv, "--jobs", 32));
+  const unsigned vars = static_cast<unsigned>(int_flag(argc, argv, "--vars", 8));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(int_flag(argc, argv, "--seed", 1));
+  const char* draw = flag_value(argc, argv, "--density");
+  const double density = draw ? std::atof(draw) : 0.3;
+  return engine::random_jobs(count, vars, density, seed);
+}
 
+engine::EngineOptions batch_options(int argc, char** argv) {
   engine::EngineOptions opts;
-  opts.num_threads = static_cast<unsigned>(int_flag("--threads", 0));
+  opts.num_threads =
+      static_cast<unsigned>(int_flag(argc, argv, "--threads", 0));
   if (const char* name = flag_value(argc, argv, "--heuristic")) {
     opts.heuristic = name;
   }
   opts.audit_level = static_cast<analysis::AuditLevel>(
-      std::clamp<long>(int_flag("--audit-level", 0), 0, 4));
-  opts.job_timeout_seconds = int_flag("--timeout-ms", 0) / 1000.0;
+      std::clamp<long>(int_flag(argc, argv, "--audit-level", 0), 0, 4));
+  opts.job_timeout_seconds = int_flag(argc, argv, "--timeout-ms", 0) / 1000.0;
   if (has_flag(argc, argv, "--lower-bound")) opts.lower_bound_cubes = 1000;
   opts.node_limit =
       static_cast<std::size_t>(size_flag(argc, argv, "--node-limit"));
@@ -365,7 +377,19 @@ int cmd_batch(int argc, char** argv) {
   if (const char* name = flag_value(argc, argv, "--fallback-heuristic")) {
     opts.fallback_heuristic = name;
   }
+  return opts;
+}
 
+int batch_exit_code(const engine::BatchReport& report) {
+  // 0: every job clean.  3: at least one genuine bug.  4: no bugs, but
+  // some jobs degraded (resource-limit / timeout / cancelled).
+  if (report.count(engine::JobStatus::kError) > 0) return 3;
+  return report.count(engine::JobStatus::kOk) == report.outcomes.size() ? 0 : 4;
+}
+
+int cmd_batch(int argc, char** argv) {
+  const std::vector<engine::Job> jobs = batch_jobs(argc, argv);
+  const engine::EngineOptions opts = batch_options(argc, argv);
   const engine::BatchReport report = engine::run_batch(jobs, opts);
   std::size_t total_f = 0;
   std::size_t total_min = 0;
@@ -388,7 +412,8 @@ int cmd_batch(int argc, char** argv) {
   std::printf("nodes: f=%zu best=%zu peak_live=%zu\n", total_f, total_min,
               peak_live);
   const std::string csv =
-      engine::report_csv(report, has_flag(argc, argv, "--timings"));
+      engine::report_csv(report, has_flag(argc, argv, "--timings"),
+                         has_flag(argc, argv, "--counters"));
   if (const char* path = flag_value(argc, argv, "--csv")) {
     if (!harness::write_text_file(path, csv)) {
       std::fprintf(stderr, "cannot write %s\n", path);
@@ -399,10 +424,17 @@ int cmd_batch(int argc, char** argv) {
   } else {
     std::printf("%s", csv.c_str());
   }
-  // 0: every job clean.  3: at least one genuine bug.  4: no bugs, but
-  // some jobs degraded (resource-limit / timeout / cancelled).
-  if (report.count(engine::JobStatus::kError) > 0) return 3;
-  return report.count(engine::JobStatus::kOk) == report.outcomes.size() ? 0 : 4;
+  return batch_exit_code(report);
+}
+
+int cmd_stats(int argc, char** argv) {
+  const std::vector<engine::Job> jobs = batch_jobs(argc, argv);
+  const engine::EngineOptions opts = batch_options(argc, argv);
+  telemetry::global().reset();  // expose only this batch's work
+  const engine::BatchReport report = engine::run_batch(jobs, opts);
+  std::printf("%s",
+              telemetry::prometheus_text(telemetry::global().snapshot()).c_str());
+  return batch_exit_code(report);
 }
 
 }  // namespace
@@ -424,6 +456,9 @@ int main(int argc, char** argv) {
     if (argc >= 2 && std::strcmp(argv[1], "batch") == 0) {
       return cmd_batch(argc - 2, argv + 2);
     }
+    if (argc >= 2 && std::strcmp(argv[1], "stats") == 0) {
+      return cmd_stats(argc - 2, argv + 2);
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
@@ -443,6 +478,8 @@ int main(int argc, char** argv) {
                "                   [--timeout-ms M] [--lower-bound]"
                " [--node-limit N] [--step-limit N]\n"
                "                   [--fallback-heuristic NAME]"
-               " [--csv PATH] [--timings]\n");
+               " [--csv PATH] [--timings] [--counters]\n"
+               "  bddmin_cli stats [batch flags]  (prints Prometheus-style"
+               " telemetry counters)\n");
   return 1;
 }
