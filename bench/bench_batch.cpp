@@ -28,31 +28,47 @@ namespace {
 
 /// Same traversals as run_workload(), but with the JobCollector on the
 /// minimize seam instead of the inline interceptor.
+///
+/// Each traversal is harvested under two image methods.  The reachability
+/// fixpoint — and with it the frontier [f, c] sequence arriving at the
+/// minimize seam — does not depend on how images are computed, so the
+/// second method re-emits the frontier instances with byte-identical
+/// payloads under fresh names.  That is exactly the duplicate shape a
+/// verification fleet produces when different pipelines process the same
+/// designs, and it is what the engine's payload dedup is measured against
+/// below.
 std::vector<engine::Job> harvest_jobs() {
   engine::JobCollector collector;
-  fsm::EquivOptions opts;
-  opts.image_method = fsm::ImageMethod::kFunctional;
-  opts.minimize = collector.hook();
-  for (const auto& [a, b] : workload_pairs()) {
-    collector.set_label(a.name == b.name ? a.name : a.name + "+" + b.name);
-    (void)fsm::check_equivalence(a, b, opts);
-  }
-  for (const fsm::MachineSpec& spec : reach_workload_machines()) {
-    collector.set_label("reach_" + spec.name);
-    Manager mgr(spec.num_inputs + 2 * spec.num_state_bits, 15);
-    std::vector<std::uint32_t> in(spec.num_inputs);
-    for (unsigned i = 0; i < spec.num_inputs; ++i) in[i] = i;
-    std::vector<std::uint32_t> st;
-    std::vector<std::uint32_t> nx;
-    for (unsigned k = 0; k < spec.num_state_bits; ++k) {
-      st.push_back(spec.num_inputs + 2 * k);
-      nx.push_back(spec.num_inputs + 2 * k + 1);
+  const fsm::ImageMethod methods[] = {fsm::ImageMethod::kFunctional,
+                                      fsm::ImageMethod::kClustered};
+  for (const fsm::ImageMethod method : methods) {
+    const char* const tag =
+        method == fsm::ImageMethod::kFunctional ? "@fn" : "@cl";
+    fsm::EquivOptions opts;
+    opts.image_method = method;
+    opts.minimize = collector.hook();
+    for (const auto& [a, b] : workload_pairs()) {
+      collector.set_label(
+          (a.name == b.name ? a.name : a.name + "+" + b.name) + tag);
+      (void)fsm::check_equivalence(a, b, opts);
     }
-    const fsm::SymbolicFsm sym = spec.build(mgr, in, st);
-    fsm::ReachOptions ropts;
-    ropts.image_method = fsm::ImageMethod::kFunctional;
-    ropts.minimize = collector.hook();
-    (void)fsm::reachable_states(mgr, sym, nx, ropts);
+    for (const fsm::MachineSpec& spec : reach_workload_machines()) {
+      collector.set_label("reach_" + spec.name + tag);
+      Manager mgr(spec.num_inputs + 2 * spec.num_state_bits, 15);
+      std::vector<std::uint32_t> in(spec.num_inputs);
+      for (unsigned i = 0; i < spec.num_inputs; ++i) in[i] = i;
+      std::vector<std::uint32_t> st;
+      std::vector<std::uint32_t> nx;
+      for (unsigned k = 0; k < spec.num_state_bits; ++k) {
+        st.push_back(spec.num_inputs + 2 * k);
+        nx.push_back(spec.num_inputs + 2 * k + 1);
+      }
+      const fsm::SymbolicFsm sym = spec.build(mgr, in, st);
+      fsm::ReachOptions ropts;
+      ropts.image_method = method;
+      ropts.minimize = collector.hook();
+      (void)fsm::reachable_states(mgr, sym, nx, ropts);
+    }
   }
   std::printf("# harvested %zu jobs (%zu trivial calls filtered)\n",
               collector.jobs().size(), collector.filtered_calls());
@@ -107,17 +123,34 @@ int run() {
     }
     const std::uint64_t hits = counters.total_cache_hits();
     const std::uint64_t misses = counters.total_cache_misses();
+    const auto rate = [](std::uint64_t hit, std::uint64_t miss) {
+      return hit + miss ? static_cast<double>(hit) / (hit + miss) : 0.0;
+    };
+    const std::uint64_t and_hits =
+        counters.value(telemetry::Counter::kAndCacheHits);
+    const std::uint64_t and_misses =
+        counters.value(telemetry::Counter::kAndCacheMisses);
+    const std::uint64_t xor_hits =
+        counters.value(telemetry::Counter::kXorCacheHits);
+    const std::uint64_t xor_misses =
+        counters.value(telemetry::Counter::kXorCacheMisses);
     json.begin_object();
     json.kv("threads", threads);
     json.kv("wall_seconds", report.wall_seconds);
     json.kv("speedup",
             report.wall_seconds > 0 ? base_seconds / report.wall_seconds : 0.0);
     json.kv("ok", ok);
+    json.kv("duplicate_jobs", report.duplicate_jobs);
     json.kv("peak_live", peak_live);
     json.kv("cache_hits", hits);
     json.kv("cache_misses", misses);
-    json.kv("cache_hit_rate",
-            hits + misses ? static_cast<double>(hits) / (hits + misses) : 0.0);
+    json.kv("cache_hit_rate", rate(hits, misses));
+    json.kv("and_cache_hits", and_hits);
+    json.kv("and_cache_misses", and_misses);
+    json.kv("and_cache_hit_rate", rate(and_hits, and_misses));
+    json.kv("xor_cache_hits", xor_hits);
+    json.kv("xor_cache_misses", xor_misses);
+    json.kv("xor_cache_hit_rate", rate(xor_hits, xor_misses));
     json.kv("steps",
             counters.value(telemetry::Counter::kGovernorSteps));
     json.end_object();
@@ -133,6 +166,46 @@ int run() {
               failures == 0 ? "byte-identical across all thread counts"
                             : "DIVERGED");
   json.end_array();
+
+  // Dedup on/off comparison at a fixed thread count: harvested frontier
+  // calls repeat across traversal steps, so duplicates are real here.
+  // The deterministic CSV must not depend on the switch.
+  double dedup_on_seconds = 0.0;
+  double dedup_off_seconds = 0.0;
+  std::size_t duplicates = 0;
+  {
+    engine::EngineOptions opts;
+    opts.num_threads = 4;
+    opts.lower_bound_cubes = 500;
+    const engine::BatchReport with_dedup = engine::run_batch(jobs, opts);
+    opts.dedup_jobs = false;
+    const engine::BatchReport without = engine::run_batch(jobs, opts);
+    dedup_on_seconds = with_dedup.wall_seconds;
+    dedup_off_seconds = without.wall_seconds;
+    duplicates = with_dedup.duplicate_jobs;
+    if (engine::report_csv(with_dedup) != engine::report_csv(without)) {
+      std::printf("!! dedup changed the deterministic report\n");
+      ++failures;
+    }
+    if (engine::report_csv(with_dedup) != baseline) {
+      std::printf("!! dedup-comparison report diverges from the baseline\n");
+      ++failures;
+    }
+    std::printf("# dedup: %zu/%zu duplicate payloads, wall %0.3fs on / "
+                "%0.3fs off (%.2fx)\n",
+                duplicates, jobs.size(), dedup_on_seconds, dedup_off_seconds,
+                dedup_on_seconds > 0 ? dedup_off_seconds / dedup_on_seconds
+                                     : 0.0);
+  }
+  json.key("dedup");
+  json.begin_object();
+  json.kv("duplicate_jobs", duplicates);
+  json.kv("wall_seconds_on", dedup_on_seconds);
+  json.kv("wall_seconds_off", dedup_off_seconds);
+  json.kv("speedup", dedup_on_seconds > 0
+                         ? dedup_off_seconds / dedup_on_seconds
+                         : 0.0);
+  json.end_object();
   json.kv("deterministic", failures == 0);
   json.end_object();
   if (harness::write_text_file("BENCH_batch.json", json.str())) {

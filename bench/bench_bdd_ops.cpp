@@ -118,6 +118,35 @@ void BM_CountNodes(benchmark::State& state) {
 }
 BENCHMARK(BM_CountNodes);
 
+void BM_Support(benchmark::State& state) {
+  const unsigned n = 24;
+  Manager mgr(n);
+  std::mt19937_64 rng(7);
+  const Bdd f(mgr, workload::random_function(mgr, n, 0.4, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(support(mgr, f.edge()));
+  }
+}
+BENCHMARK(BM_Support);
+
+void BM_Leq(benchmark::State& state) {
+  const unsigned n = 20;
+  Manager mgr(n);
+  std::mt19937_64 rng(8);
+  const Bdd f(mgr, workload::random_function(mgr, n, 0.3, rng));
+  const Bdd g(mgr,
+              mgr.or_(f.edge(), workload::random_function(mgr, n, 0.3, rng)));
+  for (auto _ : state) {
+    // f <= f|g holds (full walk); the reverse fails on an early path.
+    benchmark::DoNotOptimize(mgr.leq(f.edge(), g.edge()));
+    benchmark::DoNotOptimize(mgr.leq(g.edge(), f.edge()));
+    state.PauseTiming();
+    mgr.clear_caches();
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_Leq);
+
 void BM_ReorderSift(benchmark::State& state) {
   const unsigned pairs = static_cast<unsigned>(state.range(0));
   for (auto _ : state) {

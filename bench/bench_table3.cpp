@@ -71,12 +71,23 @@ int main() {
   for (std::size_t h = 0; h < names.size(); ++h) {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+    std::uint64_t and_hits = 0;
+    std::uint64_t and_misses = 0;
+    std::uint64_t xor_hits = 0;
+    std::uint64_t xor_misses = 0;
     std::uint64_t steps = 0;
     for (const harness::CallRecord& r : interceptor.records()) {
       hits += r.outcomes[h].cache_hits;
       misses += r.outcomes[h].cache_misses;
+      and_hits += r.outcomes[h].and_hits;
+      and_misses += r.outcomes[h].and_misses;
+      xor_hits += r.outcomes[h].xor_hits;
+      xor_misses += r.outcomes[h].xor_misses;
       steps += r.outcomes[h].steps;
     }
+    const auto rate = [](std::uint64_t hit, std::uint64_t miss) {
+      return hit + miss ? static_cast<double>(hit) / (hit + miss) : 0.0;
+    };
     json.begin_object();
     json.kv("name", names[h]);
     json.kv("total_size", table.all.total_size[h]);
@@ -85,8 +96,14 @@ int main() {
     json.kv("pct_of_min", table.all.pct_of_min(h));
     json.kv("cache_hits", hits);
     json.kv("cache_misses", misses);
-    json.kv("cache_hit_rate",
-            hits + misses ? static_cast<double>(hits) / (hits + misses) : 0.0);
+    json.kv("cache_hit_rate", rate(hits, misses));
+    // Kernel cache classes: "and" also carries the leq/disjoint probes.
+    json.kv("and_cache_hits", and_hits);
+    json.kv("and_cache_misses", and_misses);
+    json.kv("and_cache_hit_rate", rate(and_hits, and_misses));
+    json.kv("xor_cache_hits", xor_hits);
+    json.kv("xor_cache_misses", xor_misses);
+    json.kv("xor_cache_hit_rate", rate(xor_hits, xor_misses));
     json.kv("steps", steps);
     json.end_object();
   }

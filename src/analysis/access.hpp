@@ -43,8 +43,9 @@ struct ManagerAccess {
     return m.level_to_var_;
   }
 
-  /// Computed-cache slots; element type is Manager's private CacheEntry
-  /// (`.k1`, `.k2`, `.epoch`, `.result`) — bind with `auto&`.
+  /// Computed-cache sets; element type is Manager's private CacheSet, a
+  /// 2-entry `.way` array of CacheEntry (`.k1`, `.k2`, `.epoch`,
+  /// `.result`) — bind with `auto&`.
   static const auto& cache(const Manager& m) noexcept { return m.cache_; }
   static auto& cache(Manager& m) noexcept { return m.cache_; }
   static std::uint64_t cache_epoch(const Manager& m) noexcept {
@@ -56,8 +57,13 @@ struct ManagerAccess {
   static std::size_t& live_count(Manager& m) noexcept { return m.live_count_; }
   static std::size_t& dead_count(Manager& m) noexcept { return m.dead_count_; }
 
-  /// The manager's internal ITE operation tag (cache key namespace).
+  /// The manager's internal operation tags (cache key namespace).
   static constexpr std::uint32_t op_ite() noexcept { return Manager::kOpIte; }
+  static constexpr std::uint32_t op_and() noexcept { return Manager::kOpAnd; }
+  static constexpr std::uint32_t op_xor() noexcept { return Manager::kOpXor; }
+  static constexpr std::uint32_t op_disjoint() noexcept {
+    return Manager::kOpDisjoint;
+  }
 
   /// Bucket a (hi, lo) pair hashes to within a table of \p bucket_count
   /// (power-of-two) buckets.

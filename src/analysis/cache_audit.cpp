@@ -7,11 +7,17 @@
 ///
 /// 1. No slot claims an epoch from the future (invalidation monotonicity).
 /// 2. Every live slot decodes to in-range, non-free operand/result nodes
-///    and a known operation tag (reserved manager tags other than ITE are
-///    never issued today).
-/// 3. Live ITE slots replay correctly: recomputing ite(a, b, c) with a
-///    fresh, cache-free recursion must reproduce the memoized edge bit for
-///    bit — canonicity turns semantic equality into edge comparison.
+///    and a known operation tag.  Known tags are the manager's own (ITE,
+///    AND, XOR, the disjointness marker), the ops.cpp traversal tags
+///    (cofactor, exists, and-exists, compose — whose keys partly encode
+///    variables, not edges, and are decoded accordingly) and the client
+///    range (>= kUserOpBase); anything else in the reserved range is a
+///    corruption finding.
+/// 3. Live ITE/AND/XOR slots replay correctly: recomputing the operation
+///    with a fresh, cache-free recursion must reproduce the memoized edge
+///    bit for bit — canonicity turns semantic equality into edge
+///    comparison.  Disjointness markers assert result == 1 and that the
+///    operands genuinely intersect (uncached AND is nonzero).
 ///
 /// Epoch semantics make stale slots (older epoch) legal even when they
 /// reference freed nodes; they are skipped, exactly as cache_lookup skips
@@ -24,6 +30,7 @@
 
 #include "analysis/access.hpp"
 #include "analysis/audit.hpp"
+#include "bdd/ops.hpp"
 
 namespace bddmin::analysis {
 namespace {
@@ -69,14 +76,21 @@ void audit_cache(Manager& mgr, std::size_t replay_limit, AuditReport& report) {
     std::uint32_t op;
     Edge a, b, c, result;
   };
-  std::vector<LiveEntry> ite_entries;
+  std::vector<LiveEntry> replayable;
+
+  const std::uint32_t op_ite = ManagerAccess::op_ite();
+  const std::uint32_t op_and = ManagerAccess::op_and();
+  const std::uint32_t op_xor = ManagerAccess::op_xor();
+  const std::uint32_t op_disjoint = ManagerAccess::op_disjoint();
 
   // Pass 1: validate every live slot *before* replay — replays allocate
   // nodes and could resurrect a freed slot an entry dangles into.
   const auto edge_valid = [&](Edge e) {
     return e.index() < nodes.size() && nodes[e.index()].var != kFreeVar;
   };
-  for (const auto& slot : ManagerAccess::cache(mgr)) {
+  const auto& sets = ManagerAccess::cache(mgr);
+  for (std::size_t i = 0; i < sets.size() * 2; ++i) {
+    const auto& slot = sets[i >> 1].way[i & 1];
     if (slot.k1 == ~0ull) continue;  // never used
     if (slot.epoch > epoch) {
       report.add(Category::kCache,
@@ -90,8 +104,30 @@ void audit_cache(Manager& mgr, std::size_t replay_limit, AuditReport& report) {
     const Edge a{static_cast<std::uint32_t>(slot.k1)};
     const Edge b{static_cast<std::uint32_t>(slot.k2 >> 32)};
     const Edge c{static_cast<std::uint32_t>(slot.k2)};
+    // Which key words decode to edges depends on the tag: the cofactor key
+    // packs (var, value) into b and the compose key packs var into c.
+    bool known = true;
+    std::vector<Edge> edge_operands{a, slot.result};
+    if (op == op_ite || op == op_and || op == op_xor || op == op_disjoint ||
+        op == cache_tag::kExists || op == cache_tag::kAndExists ||
+        op >= Manager::kUserOpBase) {
+      edge_operands.push_back(b);
+      edge_operands.push_back(c);
+    } else if (op == cache_tag::kCofactor) {
+      edge_operands.push_back(c);  // kOne; b encodes (var << 1) | value
+    } else if (op == cache_tag::kCompose) {
+      edge_operands.push_back(b);  // c encodes var << 1
+    } else {
+      known = false;
+    }
+    if (!known) {
+      report.add(Category::kCache,
+                 entry_str(op, a, b, c) +
+                     " carries a reserved op tag the manager never issues");
+      continue;
+    }
     bool operands_ok = true;
-    for (const Edge e : {a, b, c, slot.result}) {
+    for (const Edge e : edge_operands) {
       if (!edge_valid(e)) {
         report.add(Category::kCache,
                    entry_str(op, a, b, c) + " references " +
@@ -103,27 +139,51 @@ void audit_cache(Manager& mgr, std::size_t replay_limit, AuditReport& report) {
       }
     }
     if (!operands_ok) continue;
-    if (op != ManagerAccess::op_ite() && op < Manager::kUserOpBase) {
-      report.add(Category::kCache,
-                 entry_str(op, a, b, c) +
-                     " carries a reserved op tag the manager never issues");
-      continue;
+    if (op == op_ite || op == op_and || op == op_xor || op == op_disjoint) {
+      replayable.push_back({op, a, b, c, slot.result});
     }
-    if (op == ManagerAccess::op_ite()) ite_entries.push_back({op, a, b, c, slot.result});
   }
 
-  // Pass 2: replay live ITE entries through the uncached recursion.
+  // Pass 2: replay the manager's own entries through the uncached
+  // recursion.  The kernels are ITE specializations, so one oracle covers
+  // all of them: AND(a,b) = ite(a,b,0), XOR(a,b) = ite(a,!b,b); a
+  // disjointness marker asserts the operands intersect.
   std::map<std::array<std::uint32_t, 3>, Edge> memo;
-  for (const LiveEntry& entry : ite_entries) {
+  for (const LiveEntry& entry : replayable) {
     if (replay_limit != 0 && report.cache_replays >= replay_limit) break;
     ++report.cache_replays;
-    const Edge recomputed =
-        uncached_ite(mgr, entry.a, entry.b, entry.c, memo);
+    if (entry.op == op_disjoint) {
+      if (entry.result != kOne) {
+        report.add(Category::kCache,
+                   entry_str(entry.op, entry.a, entry.b, entry.c) +
+                       " is a disjointness marker whose result is not 1");
+        continue;
+      }
+      if (uncached_ite(mgr, entry.a, entry.b, kZero, memo) == kZero) {
+        report.add(Category::kCache,
+                   entry_str(entry.op, entry.a, entry.b, entry.c) +
+                       " marks the operands as intersecting but their "
+                       "uncached AND is 0");
+      }
+      continue;
+    }
+    Edge recomputed;
+    const char* oracle = "ITE";
+    if (entry.op == op_and) {
+      recomputed = uncached_ite(mgr, entry.a, entry.b, kZero, memo);
+      oracle = "AND";
+    } else if (entry.op == op_xor) {
+      recomputed = uncached_ite(mgr, entry.a, !entry.b, entry.b, memo);
+      oracle = "XOR";
+    } else {
+      recomputed = uncached_ite(mgr, entry.a, entry.b, entry.c, memo);
+    }
     if (recomputed != entry.result) {
       report.add(Category::kCache,
                  entry_str(entry.op, entry.a, entry.b, entry.c) +
                      " memoizes " + edge_str(entry.result) +
-                     " but uncached ITE yields " + edge_str(recomputed));
+                     " but uncached " + oracle + " yields " +
+                     edge_str(recomputed));
     }
   }
 }

@@ -227,6 +227,17 @@ void audit_structure(const Manager& mgr, AuditReport& report) {
     }
   }
 
+  // The O(1) running total behind Manager::unique_size() (maintained at
+  // subtable link/unlink) must agree with the sum just recomputed from the
+  // chains; drift means a table mutation bypassed the maintenance sites.
+  if (mgr.unique_size() != unique_total) {
+    report.add(Category::kAccounting,
+               "running unique_size() total " +
+                   std::to_string(mgr.unique_size()) +
+                   " disagrees with the recomputed chain sum " +
+                   std::to_string(unique_total));
+  }
+
   // Allocation accounting: every slot is the terminal, chained, or free.
   const std::size_t live = ManagerAccess::live_count(mgr);
   const std::size_t dead = ManagerAccess::dead_count(mgr);

@@ -140,6 +140,14 @@ class ResourceGovernor {
     watching_steps_ = false;
     soft_exceeded_ = false;
   }
+  /// Fresh-job state for a pooled manager (Manager::reset()): clears the
+  /// limits AND the always-on telemetry (steps used, peak live) so a reused
+  /// manager reports exactly what a freshly constructed one would.
+  void reset_job() noexcept {
+    clear();
+    steps_ = 0;
+    peak_live_ = 0;
+  }
   [[nodiscard]] const ResourceLimits& limits() const noexcept { return limits_; }
 
   /// Attach the owning manager's telemetry slot for steps charged (see

@@ -12,22 +12,33 @@
 namespace bddmin {
 namespace {
 
-constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
-  // splitmix64 finalizer: cheap, well distributed.
-  x += 0x9E3779B97F4A7C15ull;
-  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
-  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
-  return x ^ (x >> 31);
+/// Computed-cache hash: one multiply per key word (they issue in
+/// parallel) plus a fold pulling the products' well-mixed high halves
+/// into the low bits the set mask consumes.  Roughly 4x shorter dependency
+/// chain than the nested splitmix64 it replaced — this runs on every
+/// ite/kernel recursion, where the hash latency was a measurable slice of
+/// the whole operation.
+constexpr std::uint64_t cache_hash(std::uint64_t k1, std::uint64_t k2) noexcept {
+  const std::uint64_t h =
+      (k1 * 0x9E3779B97F4A7C15ull) ^ (k2 * 0xC2B2AE3D27D4EB4Full);
+  return h ^ (h >> 32);
 }
 
 /// Counter pair (hit = returned value, miss = value + 1) for a cache op
-/// tag.  Tags 2..7 are reserved-but-unused manager internals; they and
-/// the client tags (>= kUserOpBase) all fall into the "user" class.
+/// tag.  The disjoint marker tag belongs to the "and" class: those probes
+/// are the early-exit containment walk of the AND family.  Remaining
+/// reserved manager tags and the client tags (>= kUserOpBase) fall into
+/// the "user" class.
 constexpr telemetry::Counter cache_hit_counter_of(std::uint32_t op) noexcept {
   using telemetry::CacheOpClass;
   CacheOpClass cls = CacheOpClass::kUser;
   if (op == analysis::ManagerAccess::op_ite()) {
     cls = CacheOpClass::kIte;
+  } else if (op == analysis::ManagerAccess::op_and() ||
+             op == analysis::ManagerAccess::op_disjoint()) {
+    cls = CacheOpClass::kAnd;
+  } else if (op == analysis::ManagerAccess::op_xor()) {
+    cls = CacheOpClass::kXor;
   } else if (op == cache_tag::kCofactor) {
     cls = CacheOpClass::kCofactor;
   } else if (op == cache_tag::kExists || op == cache_tag::kAndExists) {
@@ -37,6 +48,9 @@ constexpr telemetry::Counter cache_hit_counter_of(std::uint32_t op) noexcept {
   }
   return telemetry::cache_hit_counter(cls);
 }
+
+/// How often cache_insert re-evaluates the adaptive-growth condition.
+constexpr std::uint64_t kGrowthCheckInterval = 4096;
 
 }  // namespace
 
@@ -48,16 +62,21 @@ Manager::Manager(unsigned num_vars, unsigned cache_log2)
   // Validate before allocating: a bogus cache_log2 would either fail with a
   // raw bad_alloc or silently overcommit address space the first touch
   // cannot back.  Either way the caller gets the requested size.
-  const std::size_t slots = std::size_t{1} << cache_log2;
   if (cache_log2 > kMaxCacheLog2) {
-    throw OutOfMemory("computed cache", slots * sizeof(CacheEntry));
+    throw OutOfMemory("computed cache",
+                      (std::size_t{1} << cache_log2) * sizeof(CacheEntry));
   }
+  if (cache_log2 < 2) cache_log2 = 2;  // a 2-way set is 2 slots; keep >= 2 sets
+  const std::size_t sets = std::size_t{1} << (cache_log2 - 1);
   try {
-    cache_.resize(slots);
+    cache_.resize(sets);
   } catch (const std::bad_alloc&) {
-    throw OutOfMemory("computed cache", slots * sizeof(CacheEntry));
+    throw OutOfMemory("computed cache", sets * sizeof(CacheSet));
   }
-  cache_mask_ = slots - 1;
+  cache_log2_ = cache_log2;
+  base_cache_log2_ = cache_log2;
+  max_cache_log2_ = std::min(cache_log2 + kCacheGrowthHeadroom, kMaxCacheLog2);
+  cache_set_mask_ = sets - 1;
   nodes_.reserve(1u << 12);
   for (SubTable& table : subtables_) table.buckets.assign(4, kNilIndex);
   std::iota(var_to_level_.begin(), var_to_level_.end(), 0u);
@@ -85,14 +104,55 @@ unsigned Manager::add_var() {
 }
 
 std::size_t Manager::node_hash(Edge hi, Edge lo) noexcept {
-  return static_cast<std::size_t>(
-      mix64((std::uint64_t{hi.bits} << 32) ^ lo.bits));
+  // Single multiply + fold: the buckets mask low bits, the fold feeds them
+  // the product's high half.  Cheaper than a full splitmix64 finalizer and
+  // the unique table only needs short chains, not avalanche.
+  const std::uint64_t h =
+      ((std::uint64_t{hi.bits} << 32) ^ lo.bits) * 0x9E3779B97F4A7C15ull;
+  return static_cast<std::size_t>(h ^ (h >> 32));
 }
 
-std::size_t Manager::unique_size() const noexcept {
-  std::size_t total = 0;
-  for (const SubTable& table : subtables_) total += table.count;
-  return total;
+void Manager::reset(unsigned num_vars) {
+  num_vars_ = num_vars;
+  nodes_.clear();  // trivial elements: keeps capacity, frees nothing
+  free_list_.clear();
+  subtables_.resize(num_vars);  // grows only when a job needs more variables
+  for (SubTable& table : subtables_) {
+    table.buckets.assign(4, kNilIndex);  // fresh-manager bucket count
+    table.count = 0;
+  }
+  unique_total_ = 0;
+  var_to_level_.resize(num_vars);
+  level_to_var_.resize(num_vars);
+  std::iota(var_to_level_.begin(), var_to_level_.end(), 0u);
+  std::iota(level_to_var_.begin(), level_to_var_.end(), 0u);
+  // Cache: O(1) epoch invalidation; if adaptive growth had enlarged it,
+  // trim back to the construction-time size (vector::resize downward keeps
+  // the allocation) so a reused manager grows at exactly the same points a
+  // fresh one would — the engine's byte-determinism depends on it.
+  ++cache_epoch_;
+  if (cache_log2_ != base_cache_log2_) {
+    cache_.resize(std::size_t{1} << (base_cache_log2_ - 1));
+    cache_log2_ = base_cache_log2_;
+    cache_set_mask_ = cache_.size() - 1;
+  }
+  cache_growth_enabled_ = true;
+  max_cache_log2_ =
+      std::min(base_cache_log2_ + kCacheGrowthHeadroom, kMaxCacheLog2);
+  cache_window_lookups_ = 0;
+  cache_window_misses_ = 0;
+  cache_inserts_since_resize_ = 0;
+  cache_inserts_since_check_ = 0;
+  counters_.reset();
+  gc_runs_ = 0;
+  governor_.reset_job();  // drops limits and the steps/peak-live telemetry
+  Node terminal;
+  terminal.var = kConstVar;
+  terminal.ref = 0xFFFF'FFFFu;
+  nodes_.push_back(terminal);
+  live_count_ = 1;
+  dead_count_ = 0;
+  governor_.note_live(live_count_);
 }
 
 Edge Manager::var_edge(std::uint32_t v) {
@@ -153,6 +213,7 @@ std::uint32_t Manager::unique_insert(std::uint32_t var, Edge hi, Edge lo) {
   n.next = table.buckets[h];
   table.buckets[h] = index;
   ++table.count;
+  ++unique_total_;
   ++dead_count_;
   ref(hi);  // a stored node holds a reference on each child
   ref(lo);
@@ -168,6 +229,7 @@ void Manager::subtable_unlink(std::uint32_t index) {
   while (*link != index) link = &nodes_[*link].next;
   *link = n.next;
   --table.count;
+  --unique_total_;
 }
 
 void Manager::subtable_link(std::uint32_t index) {
@@ -177,6 +239,7 @@ void Manager::subtable_link(std::uint32_t index) {
   n.next = table.buckets[h];
   table.buckets[h] = index;
   ++table.count;
+  ++unique_total_;
   if (table.count > table.buckets.size()) grow_buckets(table);
 }
 
@@ -260,33 +323,128 @@ std::size_t Manager::garbage_collect() {
 
 void Manager::clear_caches() noexcept {
   ++cache_epoch_;  // O(1): stale-epoch entries are ignored on lookup
+  // Restart the adaptive-growth window: every lookup after a flush misses
+  // no matter how big the cache is (compulsory, not capacity, misses), so
+  // carrying the window across the epoch would read repeated flushes as
+  // sustained pressure and grow the cache without improving its hit rate.
+  cache_window_lookups_ = 0;
+  cache_window_misses_ = 0;
+  cache_inserts_since_resize_ = 0;
+  cache_inserts_since_check_ = 0;
 }
 
-bool Manager::cache_lookup(std::uint32_t op, Edge a, Edge b, Edge c,
-                           Edge* out) const noexcept {
+Manager::CacheKey Manager::cache_key(std::uint32_t op, Edge a, Edge b,
+                                     Edge c) noexcept {
   const std::uint64_t k1 = (std::uint64_t{op} << 32) | a.bits;
   const std::uint64_t k2 = (std::uint64_t{b.bits} << 32) | c.bits;
-  const CacheEntry& e = cache_[mix64(k1 ^ mix64(k2)) & cache_mask_];
-  if (e.k1 == k1 && e.k2 == k2 && e.epoch == cache_epoch_) {
+  return {k1, k2, cache_hash(k1, k2)};
+}
+
+bool Manager::cache_lookup(const CacheKey& key, Edge* out) const noexcept {
+  // 2-way set-associative: one CacheSet (one cache line), way 0 most recent.
+  CacheEntry* const way =
+      cache_[static_cast<std::size_t>(key.hash) & cache_set_mask_].way;
+  ++cache_window_lookups_;
+  const auto op = static_cast<std::uint32_t>(key.k1 >> 32);
+  if (way[0].k1 == key.k1 && way[0].k2 == key.k2 &&
+      way[0].epoch == cache_epoch_) {
     counters_.bump(cache_hit_counter_of(op));
-    *out = e.result;
+    *out = way[0].result;
+    return true;
+  }
+  if (way[1].k1 == key.k1 && way[1].k2 == key.k2 &&
+      way[1].epoch == cache_epoch_) {
+    counters_.bump(cache_hit_counter_of(op));
+    *out = way[1].result;
+    std::swap(way[0], way[1]);  // promote: the hit entry outlived way 0
     return true;
   }
   // Miss counters sit one slot after their hit counter (see counters.hpp).
   counters_.bump(static_cast<telemetry::Counter>(
       static_cast<unsigned>(cache_hit_counter_of(op)) + 1));
+  ++cache_window_misses_;
   return false;
+}
+
+void Manager::cache_insert(const CacheKey& key, Edge result) noexcept {
+  CacheEntry* const way =
+      cache_[static_cast<std::size_t>(key.hash) & cache_set_mask_].way;
+  // Cheap aging: the new entry takes way 0; the previous way-0 occupant is
+  // demoted to way 1 (evicting the set's oldest) — unless it holds this
+  // very key or is stale anyway, when the copy would preserve nothing.
+  if ((way[0].k1 != key.k1 || way[0].k2 != key.k2) &&
+      way[0].epoch == cache_epoch_) {
+    way[1] = way[0];
+  }
+  way[0].k1 = key.k1;
+  way[0].k2 = key.k2;
+  way[0].epoch = cache_epoch_;
+  way[0].result = result;
+  ++cache_inserts_since_resize_;
+  if (++cache_inserts_since_check_ >= kGrowthCheckInterval) maybe_grow_cache();
+}
+
+bool Manager::cache_lookup(std::uint32_t op, Edge a, Edge b, Edge c,
+                           Edge* out) const noexcept {
+  return cache_lookup(cache_key(op, a, b, c), out);
 }
 
 void Manager::cache_insert(std::uint32_t op, Edge a, Edge b, Edge c,
                            Edge result) noexcept {
-  const std::uint64_t k1 = (std::uint64_t{op} << 32) | a.bits;
-  const std::uint64_t k2 = (std::uint64_t{b.bits} << 32) | c.bits;
-  CacheEntry& e = cache_[mix64(k1 ^ mix64(k2)) & cache_mask_];
-  e.k1 = k1;
-  e.k2 = k2;
-  e.epoch = cache_epoch_;
-  e.result = result;
+  cache_insert(cache_key(op, a, b, c), result);
+}
+
+void Manager::maybe_grow_cache() noexcept {
+  cache_inserts_since_check_ = 0;
+  const std::uint64_t lookups = cache_window_lookups_;
+  const std::uint64_t misses = cache_window_misses_;
+  cache_window_lookups_ = 0;
+  cache_window_misses_ = 0;
+  if (!cache_growth_enabled_ || cache_log2_ >= max_cache_log2_) return;
+  // Grow only under sustained pressure: the recent window missed at least
+  // half its lookups AND the cache has absorbed one insert per slot since
+  // the last resize (so a short miss burst on a huge cold cache does not
+  // double it).  Both inputs are operation-sequence-determined, so growth
+  // points are reproducible run to run.
+  if (misses * 2 < lookups) return;
+  if (cache_inserts_since_resize_ < (std::uint64_t{1} << cache_log2_)) return;
+  grow_cache();
+}
+
+void Manager::grow_cache() noexcept {
+  std::vector<CacheSet> fresh;
+  try {
+    fresh.resize(std::size_t{1} << cache_log2_);  // double the set count
+  } catch (const std::bad_alloc&) {
+    cache_growth_enabled_ = false;  // degrade quietly: keep the current cache
+    return;
+  }
+  // Rehash the live entries so memoized results survive a resize that
+  // happens mid-recursion; stale-epoch and empty slots are dropped.  Way 1
+  // is replayed before way 0 so the recency order inside each target set
+  // is preserved.
+  const std::size_t set_mask = fresh.size() - 1;
+  const auto place = [&](const CacheEntry& e) {
+    if (e.k1 == ~0ull || e.epoch != cache_epoch_) return;
+    const std::size_t set =
+        static_cast<std::size_t>(cache_hash(e.k1, e.k2)) & set_mask;
+    CacheEntry* const way = fresh[set].way;
+    way[1] = way[0];
+    way[0] = e;
+  };
+  for (const CacheSet& s : cache_) {
+    place(s.way[1]);
+    place(s.way[0]);
+  }
+  cache_ = std::move(fresh);
+  ++cache_log2_;
+  cache_set_mask_ = set_mask;
+  cache_inserts_since_resize_ = 0;
+  counters_.bump(telemetry::Counter::kCacheGrowths);
+}
+
+void Manager::set_cache_growth_limit(unsigned max_log2) noexcept {
+  max_cache_log2_ = std::clamp(max_log2, cache_log2_, kMaxCacheLog2);
 }
 
 Edge Manager::ite(Edge f, Edge g, Edge h) {
@@ -345,7 +503,8 @@ Edge Manager::ite(Edge f, Edge g, Edge h) {
   }
 
   Edge result;
-  if (cache_lookup(kOpIte, f, g, h, &result)) {
+  const CacheKey key = cache_key(kOpIte, f, g, h);
+  if (cache_lookup(key, &result)) {
     return result.complement_if(out_complement);
   }
   // One budgeted step per cache miss.  An abort mid-recursion is safe: every
@@ -359,8 +518,111 @@ Edge Manager::ite(Edge f, Edge g, Edge h) {
   const Edge t = ite(f1, g1, h1);
   const Edge e = ite(f0, g0, h0);
   result = make_node(v, t, e);
-  cache_insert(kOpIte, f, g, h, result);
+  cache_insert(key, result);
   return result.complement_if(out_complement);
+}
+
+// ---------------------------------------------------------------------
+// Specialized two-operand apply kernels.  These skip the ITE
+// standard-triple normalizer: the terminal tests and the commutative
+// canonicalization below are the whole preamble, and the dedicated cache
+// tags keep AND/XOR results out of the (busier) ITE key space.
+// ---------------------------------------------------------------------
+
+Edge Manager::and_kernel(Edge f, Edge g) {
+  // Terminal cases.
+  if (f == g) return f;
+  if (f == !g || f == kZero || g == kZero) return kZero;
+  if (f == kOne) return g;
+  if (g == kOne) return f;
+  // Commutative canonicalization: order the operands by raw edge bits so
+  // (f, g) and (g, f) share one cache entry.  disjoint_rec() canonicalizes
+  // identically, which is what lets the two share AND->0 results.
+  if (f.bits > g.bits) std::swap(f, g);
+  Edge result;
+  const CacheKey key = cache_key(kOpAnd, f, g, kZero);
+  if (cache_lookup(key, &result)) return result;
+  // One budgeted step per cache miss, exactly like ite(); an abort leaves
+  // only dead nodes behind.
+  governor_.charge_step();
+  const std::uint32_t v = top_var(f, g);
+  const auto [f1, f0] = branches(f, v);
+  const auto [g1, g0] = branches(g, v);
+  const Edge t = and_kernel(f1, g1);
+  const Edge e = and_kernel(f0, g0);
+  result = make_node(v, t, e);
+  cache_insert(key, result);
+  return result;
+}
+
+Edge Manager::xor_kernel(Edge f, Edge g) {
+  // Terminal cases.
+  if (f == g) return kZero;
+  if (f == !g) return kOne;
+  if (f == kZero) return g;
+  if (f == kOne) return !g;
+  if (g == kZero) return f;
+  if (g == kOne) return !f;
+  // XOR ignores operand complements up to output complement:
+  // f ^ g == !( !f ^ g ) == !( f ^ !g ) == !f ^ !g.  Strip both to regular
+  // edges so all four combinations share one cache entry, then order
+  // commutatively.
+  bool out_complement = false;
+  if (f.complemented()) {
+    f = !f;
+    out_complement = !out_complement;
+  }
+  if (g.complemented()) {
+    g = !g;
+    out_complement = !out_complement;
+  }
+  if (f.bits > g.bits) std::swap(f, g);
+  Edge result;
+  const CacheKey key = cache_key(kOpXor, f, g, kZero);
+  if (cache_lookup(key, &result)) {
+    return result.complement_if(out_complement);
+  }
+  governor_.charge_step();
+  const std::uint32_t v = top_var(f, g);
+  const auto [f1, f0] = branches(f, v);
+  const auto [g1, g0] = branches(g, v);
+  const Edge t = xor_kernel(f1, g1);
+  const Edge e = xor_kernel(f0, g0);
+  result = make_node(v, t, e);
+  cache_insert(key, result);
+  return result.complement_if(out_complement);
+}
+
+bool Manager::disjoint(Edge f, Edge g) { return disjoint_rec(f, g); }
+
+bool Manager::disjoint_rec(Edge f, Edge g) {
+  // Terminal cases: with neither operand zero, a constant or an equal
+  // pair intersects; complementary operands never do.
+  if (f == kZero || g == kZero) return true;
+  if (f == !g) return true;
+  if (f == kOne || g == kOne || f == g) return false;
+  if (f.bits > g.bits) std::swap(f, g);  // match and_kernel's canonical key
+  Edge cached;
+  // A memoized AND answers exactly; an AND->0 subproof doubles as a
+  // disjointness certificate and vice versa (inserted below).
+  const CacheKey and_key = cache_key(kOpAnd, f, g, kZero);
+  if (cache_lookup(and_key, &cached)) return cached == kZero;
+  // Intersection markers from earlier early-exit walks: stored under their
+  // own tag because "f & g != 0" does not say what f & g *is*.
+  const CacheKey marker_key = cache_key(kOpDisjoint, f, g, kZero);
+  if (cache_lookup(marker_key, &cached)) return false;
+  governor_.charge_step();
+  const std::uint32_t v = top_var(f, g);
+  const auto [f1, f0] = branches(f, v);
+  const auto [g1, g0] = branches(g, v);
+  // Early exit: the first intersecting path answers the whole query; the
+  // remaining cofactor pair is never visited and no nodes are built.
+  if (!disjoint_rec(f1, g1) || !disjoint_rec(f0, g0)) {
+    cache_insert(marker_key, kOne);
+    return false;
+  }
+  cache_insert(and_key, kZero);  // genuine AND result: f & g == 0
+  return true;
 }
 
 // ---------------------------------------------------------------------

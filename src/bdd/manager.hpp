@@ -24,6 +24,7 @@
 /// *live* functions are reachable from referenced roots.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <utility>
@@ -40,20 +41,84 @@ namespace analysis {
 struct ManagerAccess;  // read/write introspection shim for BddAudit
 }  // namespace analysis
 
+/// Epoch-stamped visited scratch for the read-only traversals in
+/// bdd/ops.cpp (support, count_nodes, depends_on, sat_fraction, ...).
+/// Marking a node visited is one store into a per-manager vector indexed
+/// by node slot — no hashing, no per-traversal allocation once the vector
+/// has grown to the table size.  begin() starts a new traversal in O(1) by
+/// bumping the epoch; the rare epoch wrap clears the stamps.
+///
+/// One traversal at a time per manager: begin() invalidates every stamp of
+/// the previous traversal.  The ops.cpp users never nest, and a Manager is
+/// single-threaded by contract, so this is not a restriction in practice.
+class VisitScratch {
+ public:
+  /// Start a new traversal over a node table of \p num_nodes slots.
+  /// \p with_values also sizes the numeric side-car (sat_fraction memo).
+  void begin(std::size_t num_nodes, bool with_values = false) {
+    if (stamp_.size() < num_nodes) stamp_.resize(num_nodes, 0);
+    if (with_values && value_.size() < num_nodes) value_.resize(num_nodes);
+    if (++epoch_ == 0) {  // wrapped: all stamps are ambiguous, clear them
+      std::fill(stamp_.begin(), stamp_.end(), 0u);
+      epoch_ = 1;
+    }
+  }
+  /// True if \p index was already visited this traversal; marks it either way.
+  [[nodiscard]] bool test_and_set(std::uint32_t index) noexcept {
+    if (stamp_[index] == epoch_) return true;
+    stamp_[index] = epoch_;
+    return false;
+  }
+  /// True if \p index carries a value stored this traversal.
+  [[nodiscard]] bool has(std::uint32_t index) const noexcept {
+    return stamp_[index] == epoch_;
+  }
+  [[nodiscard]] double value(std::uint32_t index) const noexcept {
+    return value_[index];
+  }
+  /// Store a memoized value for \p index (marks it visited).
+  void set_value(std::uint32_t index, double v) noexcept {
+    stamp_[index] = epoch_;
+    value_[index] = v;
+  }
+
+ private:
+  std::vector<std::uint32_t> stamp_;
+  std::vector<double> value_;  // sized lazily, only for value traversals
+  std::uint32_t epoch_ = 0;
+};
+
 class Manager {
  public:
   /// Largest accepted cache_log2; beyond it the constructor throws
   /// bddmin::OutOfMemory instead of attempting (or silently overcommitting)
   /// a multi-gigabyte cache allocation.
   static constexpr unsigned kMaxCacheLog2 = 26;
+  /// Adaptive growth headroom: by default the cache may double until it
+  /// reaches `min(cache_log2 + kCacheGrowthHeadroom, kMaxCacheLog2)`;
+  /// override with set_cache_growth_limit().
+  static constexpr unsigned kCacheGrowthHeadroom = 4;
 
   /// Create a manager over \p num_vars variables.
   /// \param cache_log2 log2 of the computed-cache slot count; must be at
-  /// most kMaxCacheLog2 (throws bddmin::OutOfMemory otherwise).
+  /// most kMaxCacheLog2 (throws bddmin::OutOfMemory otherwise).  Values
+  /// below 2 are clamped to 2 (one set of the 2-way cache is 2 slots).
   explicit Manager(unsigned num_vars, unsigned cache_log2 = 18);
 
   Manager(const Manager&) = delete;
   Manager& operator=(const Manager&) = delete;
+
+  /// Tear the manager down to the terminal-only state — as if freshly
+  /// constructed over \p num_vars variables — without reallocating the
+  /// node arena or the computed cache.  The node vector keeps its
+  /// capacity, subtable bucket arrays keep their size, the cache is
+  /// invalidated in O(1) by an epoch bump and, if adaptive growth had
+  /// enlarged it, trimmed back to its construction-time size so behaviour
+  /// after reset() is bit-for-bit that of a fresh manager (the batch
+  /// engine's determinism contract relies on this).  Telemetry counters,
+  /// the governor's step/peak-live trackers and gc_runs() restart at zero.
+  /// All previously issued Edges are invalidated.
+  void reset(unsigned num_vars);
 
   // ---- Variables and levels --------------------------------------------
   [[nodiscard]] unsigned num_vars() const noexcept { return num_vars_; }
@@ -115,16 +180,31 @@ class Manager {
 
   // ---- Boolean operations ---------------------------------------------
   [[nodiscard]] Edge ite(Edge f, Edge g, Edge h);
-  [[nodiscard]] Edge and_(Edge f, Edge g) { return ite(f, g, kZero); }
-  [[nodiscard]] Edge or_(Edge f, Edge g) { return ite(f, kOne, g); }
-  [[nodiscard]] Edge xor_(Edge f, Edge g) { return ite(f, !g, g); }
-  [[nodiscard]] Edge xnor_(Edge f, Edge g) { return ite(f, g, !g); }
-  [[nodiscard]] Edge diff(Edge f, Edge g) { return ite(f, !g, kZero); }
-  [[nodiscard]] Edge implies(Edge f, Edge g) { return ite(f, g, kOne); }
-  /// f <= g as functions (f implies g everywhere).
-  [[nodiscard]] bool leq(Edge f, Edge g) { return diff(f, g) == kZero; }
-  /// f and g have no common minterm.
-  [[nodiscard]] bool disjoint(Edge f, Edge g) { return and_(f, g) == kZero; }
+  /// Specialized conjunction apply: two-operand recursion with commutative
+  /// key canonicalization and its own cache tag, bypassing the ITE
+  /// standard-triple normalizer.  Semantically identical to
+  /// `ite(f, g, zero())`.
+  [[nodiscard]] Edge and_kernel(Edge f, Edge g);
+  /// Specialized symmetric-difference apply; semantically identical to
+  /// `ite(f, !g, g)`.  Output complements are canonicalized so (f, g),
+  /// (!f, g), (f, !g), (!f, !g) all share one cache entry.
+  [[nodiscard]] Edge xor_kernel(Edge f, Edge g);
+  /// The two-operand connectives route onto the kernels via De Morgan /
+  /// complement identities; `ite` remains for genuine three-operand calls.
+  [[nodiscard]] Edge and_(Edge f, Edge g) { return and_kernel(f, g); }
+  [[nodiscard]] Edge or_(Edge f, Edge g) { return !and_kernel(!f, !g); }
+  [[nodiscard]] Edge xor_(Edge f, Edge g) { return xor_kernel(f, g); }
+  [[nodiscard]] Edge xnor_(Edge f, Edge g) { return !xor_kernel(f, g); }
+  [[nodiscard]] Edge diff(Edge f, Edge g) { return and_kernel(f, !g); }
+  [[nodiscard]] Edge implies(Edge f, Edge g) { return !and_kernel(f, !g); }
+  /// f <= g as functions (f implies g everywhere).  Early-terminating:
+  /// walks f & !g and stops at the first path reaching 1 instead of
+  /// materializing the difference BDD.
+  [[nodiscard]] bool leq(Edge f, Edge g) { return disjoint(f, !g); }
+  /// f and g have no common minterm.  Early-terminating like leq(); shares
+  /// cache entries with and_kernel (a disjoint subproof is an AND->0
+  /// result and vice versa).
+  [[nodiscard]] bool disjoint(Edge f, Edge g);
 
   // ---- Reference counting & garbage collection -------------------------
   void ref(Edge e) noexcept;
@@ -144,7 +224,9 @@ class Manager {
     return subtables_[var].count;
   }
   /// Total nodes in the unique tables (live or dead, excl. terminal).
-  [[nodiscard]] std::size_t unique_size() const noexcept;
+  /// O(1): a running total maintained at subtable link/unlink (the tier-1
+  /// audit cross-checks it against the per-variable counts).
+  [[nodiscard]] std::size_t unique_size() const noexcept { return unique_total_; }
 
   // ---- Dynamic reordering ----------------------------------------------
   /// Swap the variables at \p level and level+1 in place: every existing
@@ -190,6 +272,28 @@ class Manager {
   [[nodiscard]] bool cache_lookup(std::uint32_t op, Edge a, Edge b, Edge c,
                                   Edge* out) const noexcept;
   void cache_insert(std::uint32_t op, Edge a, Edge b, Edge c, Edge result) noexcept;
+  /// log2 of the current computed-cache slot count.  Starts at the
+  /// constructor's cache_log2 and may rise via adaptive growth: every 4096
+  /// inserts the manager checks whether the recent miss rate is >= 50% and
+  /// at least one insert per slot has happened since the last resize, and
+  /// if so doubles the cache (rehashing live entries, so memoized results
+  /// survive a resize mid-recursion).  Growth is deterministic — it depends
+  /// only on the operation sequence — and allocation failure quietly
+  /// disables it (cache_insert stays noexcept).
+  [[nodiscard]] unsigned cache_log2() const noexcept { return cache_log2_; }
+  /// Cap adaptive growth at `1 << max_log2` slots; clamped to
+  /// [cache_log2(), kMaxCacheLog2].  Pass the current cache_log2() to
+  /// freeze the cache at its present size.
+  void set_cache_growth_limit(unsigned max_log2) noexcept;
+
+  // ---- Traversal scratch -------------------------------------------------
+  /// Epoch-stamped visited scratch shared by the read-only traversals in
+  /// bdd/ops.cpp.  Mutable through a const Manager: scratch state is not
+  /// logical state.  One traversal at a time (begin() invalidates the
+  /// previous one).
+  [[nodiscard]] VisitScratch& visit_scratch() const noexcept {
+    return visit_scratch_;
+  }
 
   // ---- Introspection for debugging --------------------------------------
   [[nodiscard]] const Node& node_at(std::uint32_t index) const { return nodes_[index]; }
@@ -205,6 +309,9 @@ class Manager {
   friend struct analysis::ManagerAccess;
   enum Op : std::uint32_t {
     kOpIte = 1,
+    kOpAnd = 2,       // and_kernel results (and leq/disjoint subproofs)
+    kOpXor = 3,       // xor_kernel results
+    kOpDisjoint = 4,  // disjoint_rec "intersecting" markers (result is one())
   };
 
   struct CacheEntry {
@@ -213,6 +320,14 @@ class Manager {
     std::uint64_t epoch = 0;    // entries from older epochs are invalid
     Edge result{};
   };
+
+  /// One 2-way set, padded and aligned to a single 64-byte cache line so a
+  /// lookup or insert never touches more memory than the old direct-mapped
+  /// cache did, no matter which way it lands on.
+  struct alignas(64) CacheSet {
+    CacheEntry way[2];
+  };
+  static_assert(sizeof(CacheSet) == 64);
 
   /// Per-variable unique subtable (open hashing, chained via Node::next).
   struct SubTable {
@@ -225,6 +340,21 @@ class Manager {
   void subtable_link(std::uint32_t index);
   void grow_buckets(SubTable& table);
   [[nodiscard]] static std::size_t node_hash(Edge hi, Edge lo) noexcept;
+  [[nodiscard]] bool disjoint_rec(Edge f, Edge g);
+  void maybe_grow_cache() noexcept;
+  void grow_cache() noexcept;
+
+  /// Precomputed cache key: the recursions hash once, look up, recurse and
+  /// insert under the same key without rehashing.  Only the full 64-bit
+  /// hash is carried — never a set index — because a nested call can grow
+  /// the cache between the lookup and the insert, changing the mask.
+  struct CacheKey {
+    std::uint64_t k1, k2, hash;
+  };
+  [[nodiscard]] static CacheKey cache_key(std::uint32_t op, Edge a, Edge b,
+                                          Edge c) noexcept;
+  [[nodiscard]] bool cache_lookup(const CacheKey& key, Edge* out) const noexcept;
+  void cache_insert(const CacheKey& key, Edge result) noexcept;
 
   unsigned num_vars_;
   std::vector<Node> nodes_;
@@ -232,14 +362,27 @@ class Manager {
   std::vector<std::uint32_t> var_to_level_;
   std::vector<std::uint32_t> level_to_var_;
   std::vector<std::uint32_t> free_list_;     // recycled node indices
-  std::vector<CacheEntry> cache_;
-  std::size_t cache_mask_ = 0;
+  // Mutable: a lookup that hits way 1 of a set promotes the entry to way 0
+  // (move-to-front aging).  Like the counters, this is observation state.
+  mutable std::vector<CacheSet> cache_;
+  std::size_t cache_set_mask_ = 0;  // (#sets - 1); one CacheSet per set
+  unsigned cache_log2_ = 0;         // log2 of the current slot count
+  unsigned base_cache_log2_ = 0;    // construction-time size; reset() target
+  unsigned max_cache_log2_ = 0;     // adaptive-growth ceiling
+  bool cache_growth_enabled_ = true;
+  // Sliding miss-rate window driving adaptive growth (reset every check).
+  mutable std::uint64_t cache_window_lookups_ = 0;
+  mutable std::uint64_t cache_window_misses_ = 0;
+  std::uint64_t cache_inserts_since_resize_ = 0;
+  std::uint64_t cache_inserts_since_check_ = 0;
   // Mutable: cache_lookup is const yet counts its hit/miss.  Counting is
   // observation, not logical state — a const Manager still meters.
   mutable telemetry::CounterBank counters_;
+  mutable VisitScratch visit_scratch_;
   ResourceGovernor governor_;
   std::size_t live_count_ = 0;  // nodes with ref > 0
   std::size_t dead_count_ = 0;  // allocated nodes with ref == 0
+  std::size_t unique_total_ = 0;  // running sum of subtable counts
   std::uint64_t gc_runs_ = 0;
   std::uint64_t cache_epoch_ = 0;  // bumped to invalidate the whole cache
 };

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <unordered_map>
-#include <unordered_set>
 
 #include "analysis/check.hpp"
 
@@ -144,20 +143,23 @@ Edge vector_compose(Manager& mgr, Edge f, std::span<const Edge> map) {
 }
 
 std::vector<std::uint32_t> support(const Manager& mgr, Edge f) {
-  std::unordered_set<std::uint32_t> visited;
-  std::unordered_set<std::uint32_t> vars;
+  // Epoch-stamped scratch instead of a hash set: marking a node is one
+  // store, and begin() is O(1) (same for the traversals below).
+  VisitScratch& visited = mgr.visit_scratch();
+  visited.begin(mgr.allocated_nodes());
+  std::vector<std::uint32_t> vars;
   std::vector<Edge> stack{f};
   while (!stack.empty()) {
     const Edge e = stack.back();
     stack.pop_back();
-    if (Manager::is_const(e) || !visited.insert(e.index()).second) continue;
-    vars.insert(mgr.var_of(e));
+    if (Manager::is_const(e) || visited.test_and_set(e.index())) continue;
+    vars.push_back(mgr.var_of(e));
     stack.push_back(mgr.hi_of(e));
     stack.push_back(mgr.lo_of(e));
   }
-  std::vector<std::uint32_t> out(vars.begin(), vars.end());
-  std::sort(out.begin(), out.end());
-  return out;
+  std::sort(vars.begin(), vars.end());
+  vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+  return vars;
 }
 
 Edge support_cube(Manager& mgr, Edge f) {
@@ -166,13 +168,14 @@ Edge support_cube(Manager& mgr, Edge f) {
 }
 
 bool depends_on(const Manager& mgr, Edge f, std::uint32_t var) {
-  std::unordered_set<std::uint32_t> visited;
+  VisitScratch& visited = mgr.visit_scratch();
+  visited.begin(mgr.allocated_nodes());
   std::vector<Edge> stack{f};
   while (!stack.empty()) {
     const Edge e = stack.back();
     stack.pop_back();
     if (Manager::is_const(e) || mgr.level_of(e) > mgr.level_of_var(var)) continue;
-    if (!visited.insert(e.index()).second) continue;
+    if (visited.test_and_set(e.index())) continue;
     if (mgr.var_of(e) == var) return true;
     stack.push_back(mgr.hi_of(e));
     stack.push_back(mgr.lo_of(e));
@@ -183,20 +186,21 @@ bool depends_on(const Manager& mgr, Edge f, std::uint32_t var) {
 namespace {
 
 /// Fraction of the full space satisfying the function rooted at a regular
-/// edge; complements handled by p(!e) = 1 - p(e).
-double sat_fraction(const Manager& mgr, Edge e,
-                    std::unordered_map<std::uint32_t, double>& memo) {
+/// edge; complements handled by p(!e) = 1 - p(e).  The memo is the
+/// manager's visit scratch keyed by node index (the memoized edge is
+/// always regular, so the index identifies it).
+double sat_fraction(const Manager& mgr, Edge e, VisitScratch& memo) {
   const bool neg = e.complemented();
   const Edge r = e.regular();
   double p;
   if (r == kOne) {
     p = 1.0;
-  } else if (const auto it = memo.find(r.bits); it != memo.end()) {
-    p = it->second;
+  } else if (memo.has(r.index())) {
+    p = memo.value(r.index());
   } else {
     p = 0.5 * sat_fraction(mgr, mgr.hi_of(r), memo) +
         0.5 * sat_fraction(mgr, mgr.lo_of(r), memo);
-    memo.emplace(r.bits, p);
+    memo.set_value(r.index(), p);
   }
   return neg ? 1.0 - p : p;
 }
@@ -204,12 +208,14 @@ double sat_fraction(const Manager& mgr, Edge e,
 }  // namespace
 
 double sat_count(const Manager& mgr, Edge f, unsigned num_vars) {
-  std::unordered_map<std::uint32_t, double> memo;
+  VisitScratch& memo = mgr.visit_scratch();
+  memo.begin(mgr.allocated_nodes(), /*with_values=*/true);
   return sat_fraction(mgr, f, memo) * std::ldexp(1.0, static_cast<int>(num_vars));
 }
 
 double sat_fraction(const Manager& mgr, Edge f) {
-  std::unordered_map<std::uint32_t, double> memo;
+  VisitScratch& memo = mgr.visit_scratch();
+  memo.begin(mgr.allocated_nodes(), /*with_values=*/true);
   return sat_fraction(mgr, f, memo);
 }
 
@@ -218,29 +224,30 @@ std::size_t count_nodes(const Manager& mgr, Edge f) {
 }
 
 std::size_t count_nodes(const Manager& mgr, std::span<const Edge> roots) {
-  std::unordered_set<std::uint32_t> visited;
+  VisitScratch& visited = mgr.visit_scratch();
+  visited.begin(mgr.allocated_nodes());
+  std::size_t count = 1;  // the terminal, counted whether or not reached
   std::vector<Edge> stack(roots.begin(), roots.end());
   while (!stack.empty()) {
     const Edge e = stack.back();
     stack.pop_back();
-    if (!visited.insert(e.index()).second) continue;
-    if (Manager::is_const(e)) continue;
+    if (Manager::is_const(e) || visited.test_and_set(e.index())) continue;
+    ++count;
     stack.push_back(mgr.hi_of(e));
     stack.push_back(mgr.lo_of(e));
   }
-  // The terminal is reachable from every function, but guard anyway.
-  visited.insert(0);
-  return visited.size();
+  return count;
 }
 
 std::size_t count_nodes_below(const Manager& mgr, Edge f, std::uint32_t level) {
-  std::unordered_set<std::uint32_t> visited;
+  VisitScratch& visited = mgr.visit_scratch();
+  visited.begin(mgr.allocated_nodes());
   std::size_t below = 1;  // the terminal node is below every level
   std::vector<Edge> stack{f};
   while (!stack.empty()) {
     const Edge e = stack.back();
     stack.pop_back();
-    if (Manager::is_const(e) || !visited.insert(e.index()).second) continue;
+    if (Manager::is_const(e) || visited.test_and_set(e.index())) continue;
     if (mgr.level_of(e) > level) ++below;
     stack.push_back(mgr.hi_of(e));
     stack.push_back(mgr.lo_of(e));

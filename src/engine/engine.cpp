@@ -7,6 +7,7 @@
 #include <mutex>
 #include <sstream>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 
 #include "analysis/cover_audit.hpp"
@@ -91,7 +92,22 @@ struct WorkerContext {
   }
 }
 
-JobOutcome process_job(const Job& job, const WorkerContext& ctx) {
+/// The worker's pooled manager, reset to the fresh terminal-only state for
+/// this job; constructed lazily on the first job.  reset() restores
+/// construction-time behaviour exactly (see Manager::reset), so pooling is
+/// invisible to the determinism contract — only the allocations are reused.
+Manager& acquire_manager(std::unique_ptr<Manager>& pool, unsigned num_vars,
+                         unsigned cache_log2) {
+  if (pool == nullptr) {
+    pool = std::make_unique<Manager>(num_vars, cache_log2);
+  } else {
+    pool->reset(num_vars);
+  }
+  return *pool;
+}
+
+JobOutcome process_job(const Job& job, const WorkerContext& ctx,
+                       std::unique_ptr<Manager>& pool) {
   const EngineOptions& opts = *ctx.opts;
   const std::vector<minimize::Heuristic>& heuristics = *ctx.heuristics;
   const auto job_start = Clock::now();
@@ -106,7 +122,8 @@ JobOutcome process_job(const Job& job, const WorkerContext& ctx) {
     return outcome;
   }
 
-  Manager mgr(std::max(job.num_vars, 1u), opts.cache_log2);
+  Manager& mgr =
+      acquire_manager(pool, std::max(job.num_vars, 1u), opts.cache_log2);
   minimize::IncSpec spec;
   try {
     spec = decode_job(mgr, job);
@@ -249,13 +266,15 @@ JobOutcome process_job(const Job& job, const WorkerContext& ctx) {
 
 void worker_loop(WorkStealingQueue& queue, std::span<const Job> jobs,
                  ResultSink& sink, const WorkerContext& ctx) {
+  // One pooled Manager per worker, reused across jobs via reset().
+  std::unique_ptr<Manager> pool;
   std::size_t index = 0;
   while (queue.try_pop(ctx.worker, &index)) {
     JobOutcome outcome;
     const telemetry::TraceScope span(std::string("job:") + jobs[index].name,
                                      "engine");
     try {
-      outcome = process_job(jobs[index], ctx);
+      outcome = process_job(jobs[index], ctx, pool);
     } catch (const std::exception& e) {
       // Containment: a throw outside the budgeted sections (e.g. the
       // manager constructor running out of memory) fails the one job, not
@@ -266,9 +285,30 @@ void worker_loop(WorkStealingQueue& queue, std::span<const Job> jobs,
       outcome.status = JobStatus::kError;
       outcome.error = e.what();
       outcome.results.resize(ctx.heuristics->size());
+      // An uncontained throw may have left the pooled manager mid-mutation;
+      // drop it rather than reuse a possibly inconsistent instance.
+      pool.reset();
     }
     sink.deliver(index, std::move(outcome));
   }
+}
+
+/// Content key for payload dedup: everything decode_job reads (kind,
+/// variable count, the payload bytes) and nothing else — in particular not
+/// the name.  Byte-exact, so two jobs share a key iff they decode to the
+/// same [f, c] instance the same way.
+std::string payload_key(const Job& job) {
+  std::string key;
+  key.reserve(16 + job.forest.size());
+  key.push_back(static_cast<char>(job.kind));
+  key.append(reinterpret_cast<const char*>(&job.num_vars), sizeof job.num_vars);
+  if (job.kind == PayloadKind::kTruthTable) {
+    key.append(reinterpret_cast<const char*>(&job.f_tt), sizeof job.f_tt);
+    key.append(reinterpret_cast<const char*>(&job.c_tt), sizeof job.c_tt);
+  } else {
+    key += job.forest;
+  }
+  return key;
 }
 
 }  // namespace
@@ -339,8 +379,31 @@ BatchReport run_batch(std::span<const Job> jobs, const EngineOptions& opts) {
   for (const minimize::Heuristic& h : heuristics) report.names.push_back(h.name);
 
   const auto start = Clock::now();
+  // Payload dedup: queue one representative per distinct payload; the
+  // duplicate slots are filled from the representative's outcome after the
+  // pool drains.  rep[i] == i marks a representative.
+  std::vector<std::size_t> rep(jobs.size());
+  std::vector<std::size_t> to_run;
+  to_run.reserve(jobs.size());
+  if (effective.dedup_jobs) {
+    std::unordered_map<std::string, std::size_t> first_by_key;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      const auto [it, inserted] = first_by_key.emplace(payload_key(jobs[i]), i);
+      rep[i] = it->second;
+      if (inserted) to_run.push_back(i);
+    }
+  } else {
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      rep[i] = i;
+      to_run.push_back(i);
+    }
+  }
+  report.duplicate_jobs = jobs.size() - to_run.size();
+
   WorkStealingQueue queue(threads);
-  for (std::size_t i = 0; i < jobs.size(); ++i) queue.push(i % threads, i);
+  for (std::size_t k = 0; k < to_run.size(); ++k) {
+    queue.push(k % threads, to_run[k]);
+  }
   ResultSink sink(jobs.size());
   {
     const telemetry::TraceScope batch_span("run_batch", "engine");
@@ -356,6 +419,15 @@ BatchReport run_batch(std::span<const Job> jobs, const EngineOptions& opts) {
     for (std::thread& t : pool) t.join();
   }
   report.outcomes = sink.take();
+  // Fill each duplicate from its representative, keeping the duplicate's
+  // own name.  Outcomes are pure functions of the payload, so every other
+  // column is exactly what a dedup-off run would have produced.
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (rep[i] == i) continue;
+    JobOutcome copy = report.outcomes[rep[i]];
+    copy.name = jobs[i].name;
+    report.outcomes[i] = std::move(copy);
+  }
   report.wall_seconds =
       std::chrono::duration<double>(Clock::now() - start).count();
   return report;

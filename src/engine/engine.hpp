@@ -9,9 +9,12 @@
 /// through a lock-guarded sink indexed by submission order.
 ///
 /// Determinism contract: every heuristic is a pure function of (f, c) and
-/// each job is decoded into a fresh manager, so all sizes, covers, audit
-/// verdicts and statuses are independent of worker count and
-/// interleaving.  `report_csv(report)` therefore produces byte-identical
+/// each job is decoded into a manager in the fresh terminal-only state —
+/// workers pool one Manager each and tear it back down between jobs with
+/// Manager::reset(), which restores construction-time behaviour bit for
+/// bit (counters, cache size, governor telemetry) without reallocating —
+/// so all sizes, covers, audit verdicts and statuses are independent of
+/// worker count and interleaving.  `report_csv(report)` therefore produces byte-identical
 /// text for any thread count, **provided** no per-job timeout fired and
 /// no cancellation was requested (both are wall-clock events).  Node and
 /// step quotas are deterministic: a job degraded to kResourceLimit by them
@@ -99,6 +102,14 @@ struct EngineOptions {
   bool flush_between = true;
   /// log2 of each worker manager's computed-cache slots.
   unsigned cache_log2 = 14;
+  /// Collapse jobs with byte-identical payloads (kind, num_vars and the
+  /// truth-table/forest content — names excluded): each distinct payload
+  /// is minimized once and the outcome is replicated into every
+  /// duplicate's CSV row under its own name.  Outcomes are pure functions
+  /// of the payload, so the produced report is byte-identical to a
+  /// dedup-off run (minus the opt-in timing columns); only the wall clock
+  /// drops.  Duplicate counts land in BatchReport::duplicate_jobs.
+  bool dedup_jobs = true;
   /// Optional cancellation token shared with the caller: once set, every
   /// not-yet-started job completes immediately as kCancelled (jobs are
   /// atomic — a started job always runs to its own completion).
@@ -147,6 +158,9 @@ struct BatchReport {
   std::vector<std::string> names;     ///< heuristic names (column order)
   std::vector<JobOutcome> outcomes;   ///< submission order, always complete
   unsigned num_threads = 1;
+  /// Jobs whose payload matched an earlier job's and were filled from its
+  /// outcome instead of being re-minimized (0 when dedup_jobs is off).
+  std::size_t duplicate_jobs = 0;
   double wall_seconds = 0.0;
 
   [[nodiscard]] std::size_t count(JobStatus s) const noexcept;

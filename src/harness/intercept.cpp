@@ -73,6 +73,10 @@ Edge Interceptor::process(Manager& mgr, Edge f, Edge c) {
     outcome.seconds = std::chrono::duration<double>(stop - start).count();
     outcome.cache_hits = delta.total_cache_hits();
     outcome.cache_misses = delta.total_cache_misses();
+    outcome.and_hits = delta.value(telemetry::Counter::kAndCacheHits);
+    outcome.and_misses = delta.value(telemetry::Counter::kAndCacheMisses);
+    outcome.xor_hits = delta.value(telemetry::Counter::kXorCacheHits);
+    outcome.xor_misses = delta.value(telemetry::Counter::kXorCacheMisses);
     outcome.steps = delta.value(telemetry::Counter::kGovernorSteps);
     record.min_size = std::min(record.min_size, outcome.size);
     record.outcomes.push_back(outcome);

@@ -26,6 +26,10 @@ struct HeuristicOutcome {
   // counters are compiled out).
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  std::uint64_t and_hits = 0;    ///< AND-kernel cache class (incl. leq/disjoint)
+  std::uint64_t and_misses = 0;
+  std::uint64_t xor_hits = 0;    ///< XOR-kernel cache class
+  std::uint64_t xor_misses = 0;
   std::uint64_t steps = 0;  ///< governor steps (memo misses)
 };
 

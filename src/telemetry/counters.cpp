@@ -18,11 +18,16 @@ const char* counter_name(Counter c) noexcept {
     case Counter::kComposeCacheMisses: return "compose_cache_misses";
     case Counter::kUserCacheHits: return "user_cache_hits";
     case Counter::kUserCacheMisses: return "user_cache_misses";
+    case Counter::kAndCacheHits: return "and_cache_hits";
+    case Counter::kAndCacheMisses: return "and_cache_misses";
+    case Counter::kXorCacheHits: return "xor_cache_hits";
+    case Counter::kXorCacheMisses: return "xor_cache_misses";
     case Counter::kGcRuns: return "gc_runs";
     case Counter::kGcNodesReclaimed: return "gc_nodes_reclaimed";
     case Counter::kReorderNodesFreed: return "reorder_nodes_freed";
     case Counter::kSiftSwaps: return "sift_swaps";
     case Counter::kGovernorSteps: return "governor_steps";
+    case Counter::kCacheGrowths: return "cache_growths";
     case Counter::kCount: break;
   }
   return "?";
@@ -56,6 +61,8 @@ std::string prometheus_text(const CounterSnapshot& s) {
        << s.value(miss) << '\n';
   };
   cache("ite", Counter::kIteCacheHits);
+  cache("and", Counter::kAndCacheHits);
+  cache("xor", Counter::kXorCacheHits);
   cache("cofactor", Counter::kCofactorCacheHits);
   cache("quantify", Counter::kQuantifyCacheHits);
   cache("compose", Counter::kComposeCacheHits);
@@ -69,6 +76,8 @@ std::string prometheus_text(const CounterSnapshot& s) {
         "Adjacent-level swaps executed");
   plain(Counter::kGovernorSteps, "bddmin_governor_steps_total",
         "Recursion steps charged (memoization misses)");
+  plain(Counter::kCacheGrowths, "bddmin_cache_growths_total",
+        "Adaptive computed-cache doublings");
   return os.str();
 }
 

@@ -48,11 +48,16 @@ enum class Counter : unsigned {
   kComposeCacheMisses,
   kUserCacheHits,        ///< client tags (>= Manager::kUserOpBase)
   kUserCacheMisses,
+  kAndCacheHits,         ///< op class AND (and_kernel + leq/disjoint probes)
+  kAndCacheMisses,
+  kXorCacheHits,         ///< op class XOR (xor_kernel)
+  kXorCacheMisses,
   kGcRuns,               ///< garbage_collect() passes
   kGcNodesReclaimed,     ///< nodes freed by garbage_collect()
   kReorderNodesFreed,    ///< nodes freed inline by swap_adjacent_levels()
   kSiftSwaps,            ///< adjacent-level swaps executed
   kGovernorSteps,        ///< recursion steps charged (memoization misses)
+  kCacheGrowths,         ///< adaptive computed-cache doublings
   kCount,
 };
 
@@ -63,7 +68,15 @@ inline constexpr std::size_t kNumCounters =
 [[nodiscard]] const char* counter_name(Counter c) noexcept;
 
 /// Computed-cache op classes, as exposed per counter pair.
-enum class CacheOpClass : unsigned { kIte, kCofactor, kQuantify, kCompose, kUser };
+enum class CacheOpClass : unsigned {
+  kIte,
+  kCofactor,
+  kQuantify,
+  kCompose,
+  kUser,
+  kAnd,
+  kXor,
+};
 
 [[nodiscard]] constexpr Counter cache_hit_counter(CacheOpClass cls) noexcept {
   switch (cls) {
@@ -72,6 +85,8 @@ enum class CacheOpClass : unsigned { kIte, kCofactor, kQuantify, kCompose, kUser
     case CacheOpClass::kQuantify: return Counter::kQuantifyCacheHits;
     case CacheOpClass::kCompose: return Counter::kComposeCacheHits;
     case CacheOpClass::kUser: return Counter::kUserCacheHits;
+    case CacheOpClass::kAnd: return Counter::kAndCacheHits;
+    case CacheOpClass::kXor: return Counter::kXorCacheHits;
   }
   return Counter::kUserCacheHits;
 }
@@ -88,14 +103,16 @@ struct CounterSnapshot {
   [[nodiscard]] std::uint64_t total_cache_hits() const noexcept {
     return value(Counter::kIteCacheHits) + value(Counter::kCofactorCacheHits) +
            value(Counter::kQuantifyCacheHits) +
-           value(Counter::kComposeCacheHits) + value(Counter::kUserCacheHits);
+           value(Counter::kComposeCacheHits) + value(Counter::kUserCacheHits) +
+           value(Counter::kAndCacheHits) + value(Counter::kXorCacheHits);
   }
   [[nodiscard]] std::uint64_t total_cache_misses() const noexcept {
     return value(Counter::kIteCacheMisses) +
            value(Counter::kCofactorCacheMisses) +
            value(Counter::kQuantifyCacheMisses) +
            value(Counter::kComposeCacheMisses) +
-           value(Counter::kUserCacheMisses);
+           value(Counter::kUserCacheMisses) + value(Counter::kAndCacheMisses) +
+           value(Counter::kXorCacheMisses);
   }
 
   CounterSnapshot& operator+=(const CounterSnapshot& o) noexcept {

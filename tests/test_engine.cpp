@@ -256,6 +256,79 @@ TEST(BatchEngine, SingleHeuristicSelectionByName) {
   EXPECT_EQ(report.count(JobStatus::kOk), jobs.size());
 }
 
+TEST(BatchEngine, DedupReplicatesDuplicateOutcomesUnderTheirOwnNames) {
+  // Four distinct payloads, each duplicated under fresh names.
+  std::vector<Job> jobs = random_jobs(4, 6, 0.4, 8800);
+  const std::size_t distinct = jobs.size();
+  for (std::size_t i = 0; i < distinct; ++i) {
+    Job dup = jobs[i];
+    dup.name = "dup_" + dup.name;
+    jobs.push_back(std::move(dup));
+  }
+  std::string baseline;
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    EngineOptions opts;
+    opts.num_threads = threads;
+    const BatchReport report = run_batch(jobs, opts);
+    EXPECT_EQ(report.duplicate_jobs, distinct);
+    EXPECT_EQ(report.count(JobStatus::kOk), jobs.size());
+    const std::string csv =
+        report_csv(report, /*include_timings=*/false, /*include_counters=*/true);
+    if (baseline.empty()) {
+      baseline = csv;
+    } else {
+      EXPECT_EQ(csv, baseline) << "thread count " << threads
+                               << " changed the deduplicated report";
+    }
+  }
+  // Every duplicate appears under its own name.
+  for (const Job& job : jobs) {
+    EXPECT_NE(baseline.find(job.name), std::string::npos) << job.name;
+  }
+}
+
+TEST(BatchEngine, DedupOffProducesTheSameReport) {
+  std::vector<Job> jobs = random_jobs(3, 6, 0.4, 9900);
+  for (std::size_t i = 0; i < 3; ++i) {
+    Job dup = jobs[i];
+    dup.name = "again_" + dup.name;
+    jobs.push_back(std::move(dup));
+  }
+  EngineOptions on;
+  on.num_threads = 2;
+  EngineOptions off = on;
+  off.dedup_jobs = false;
+  const BatchReport rep_on = run_batch(jobs, on);
+  const BatchReport rep_off = run_batch(jobs, off);
+  EXPECT_EQ(rep_on.duplicate_jobs, 3u);
+  EXPECT_EQ(rep_off.duplicate_jobs, 0u);
+  // Outcomes are pure functions of the payload: the deterministic CSV
+  // (counters included) is identical whether or not duplicates reran.
+  EXPECT_EQ(report_csv(rep_on, false, /*include_counters=*/true),
+            report_csv(rep_off, false, /*include_counters=*/true));
+}
+
+TEST(BatchEngine, PooledManagersKeepCsvByteIdenticalAcrossThreadCounts) {
+  // Many more jobs than workers, so every pooled manager is reset and
+  // reused repeatedly; counters in the CSV must still match a run where
+  // each job had the manager to itself (1 thread).
+  const std::vector<Job> jobs = mixed_jobs();
+  std::string baseline;
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    EngineOptions opts;
+    opts.num_threads = threads;
+    opts.dedup_jobs = false;  // isolate the pooling effect
+    const BatchReport report = run_batch(jobs, opts);
+    const std::string csv =
+        report_csv(report, /*include_timings=*/false, /*include_counters=*/true);
+    if (baseline.empty()) {
+      baseline = csv;
+    } else {
+      EXPECT_EQ(csv, baseline) << "thread count " << threads;
+    }
+  }
+}
+
 TEST(BatchEngine, TimingColumnsAreOptIn) {
   const std::vector<Job> jobs = random_jobs(2, 5, 0.5, 2468);
   const BatchReport report = run_batch(jobs, {});
