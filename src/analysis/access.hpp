@@ -57,12 +57,15 @@ struct ManagerAccess {
   static std::size_t& live_count(Manager& m) noexcept { return m.live_count_; }
   static std::size_t& dead_count(Manager& m) noexcept { return m.dead_count_; }
 
-  /// The manager's internal operation tags (cache key namespace).
-  static constexpr std::uint32_t op_ite() noexcept { return Manager::kOpIte; }
-  static constexpr std::uint32_t op_and() noexcept { return Manager::kOpAnd; }
-  static constexpr std::uint32_t op_xor() noexcept { return Manager::kOpXor; }
+  /// The manager's internal operation tags.  Thin forwarders into the
+  /// bdd/cache_tags.hpp registry, kept so audit code reads
+  /// `ManagerAccess::op_ite()` — "the tag the manager files ITE results
+  /// under" — rather than naming the registry constant directly.
+  static constexpr std::uint32_t op_ite() noexcept { return cache_tag::kIte; }
+  static constexpr std::uint32_t op_and() noexcept { return cache_tag::kAnd; }
+  static constexpr std::uint32_t op_xor() noexcept { return cache_tag::kXor; }
   static constexpr std::uint32_t op_disjoint() noexcept {
-    return Manager::kOpDisjoint;
+    return cache_tag::kDisjoint;
   }
 
   /// Bucket a (hi, lo) pair hashes to within a table of \p bucket_count

@@ -4,14 +4,14 @@
 /// A Bdd keeps its root referenced for as long as it is alive, so the root
 /// (and everything under it) survives Manager::garbage_collect().  All
 /// operators delegate to the owning manager; mixing handles from different
-/// managers is a logic error (checked by assertion).
+/// managers is a logic error (guarded by BDDMIN_DCHECK).
 #pragma once
 
-#include <cassert>
 #include <cstddef>
 #include <utility>
 #include <vector>
 
+#include "analysis/check.hpp"
 #include "bdd/manager.hpp"
 
 namespace bddmin {
@@ -52,20 +52,20 @@ class Bdd {
 
   [[nodiscard]] Bdd operator!() const { return Bdd(*mgr_, !e_); }
   [[nodiscard]] Bdd operator&(const Bdd& o) const {
-    assert(mgr_ == o.mgr_);
+    BDDMIN_DCHECK(mgr_ == o.mgr_);
     return Bdd(*mgr_, mgr_->and_(e_, o.e_));
   }
   [[nodiscard]] Bdd operator|(const Bdd& o) const {
-    assert(mgr_ == o.mgr_);
+    BDDMIN_DCHECK(mgr_ == o.mgr_);
     return Bdd(*mgr_, mgr_->or_(e_, o.e_));
   }
   [[nodiscard]] Bdd operator^(const Bdd& o) const {
-    assert(mgr_ == o.mgr_);
+    BDDMIN_DCHECK(mgr_ == o.mgr_);
     return Bdd(*mgr_, mgr_->xor_(e_, o.e_));
   }
   /// Set difference / inhibition: this AND NOT other.
   [[nodiscard]] Bdd operator-(const Bdd& o) const {
-    assert(mgr_ == o.mgr_);
+    BDDMIN_DCHECK(mgr_ == o.mgr_);
     return Bdd(*mgr_, mgr_->diff(e_, o.e_));
   }
   Bdd& operator&=(const Bdd& o) { return *this = *this & o; }
@@ -74,12 +74,12 @@ class Bdd {
   Bdd& operator-=(const Bdd& o) { return *this = *this - o; }
 
   [[nodiscard]] Bdd ite(const Bdd& g, const Bdd& h) const {
-    assert(mgr_ == g.mgr_ && mgr_ == h.mgr_);
+    BDDMIN_DCHECK(mgr_ == g.mgr_ && mgr_ == h.mgr_);
     return Bdd(*mgr_, mgr_->ite(e_, g.e_, h.e_));
   }
   /// Functional implication test: this <= other everywhere.
   [[nodiscard]] bool leq(const Bdd& o) const {
-    assert(mgr_ == o.mgr_);
+    BDDMIN_DCHECK(mgr_ == o.mgr_);
     return mgr_->leq(e_, o.e_);
   }
 

@@ -386,11 +386,13 @@ void Manager::cache_insert(const CacheKey& key, Edge result) noexcept {
 
 bool Manager::cache_lookup(std::uint32_t op, Edge a, Edge b, Edge c,
                            Edge* out) const noexcept {
+  // bddmin-lint: allow(R2) -- forwarding API; the tag is validated at the call site
   return cache_lookup(cache_key(op, a, b, c), out);
 }
 
 void Manager::cache_insert(std::uint32_t op, Edge a, Edge b, Edge c,
                            Edge result) noexcept {
+  // bddmin-lint: allow(R2) -- forwarding API; the tag is validated at the call site
   cache_insert(cache_key(op, a, b, c), result);
 }
 
@@ -503,7 +505,7 @@ Edge Manager::ite(Edge f, Edge g, Edge h) {
   }
 
   Edge result;
-  const CacheKey key = cache_key(kOpIte, f, g, h);
+  const CacheKey key = cache_key(cache_tag::kIte, f, g, h);
   if (cache_lookup(key, &result)) {
     return result.complement_if(out_complement);
   }
@@ -540,7 +542,7 @@ Edge Manager::and_kernel(Edge f, Edge g) {
   // identically, which is what lets the two share AND->0 results.
   if (f.bits > g.bits) std::swap(f, g);
   Edge result;
-  const CacheKey key = cache_key(kOpAnd, f, g, kZero);
+  const CacheKey key = cache_key(cache_tag::kAnd, f, g, kZero);
   if (cache_lookup(key, &result)) return result;
   // One budgeted step per cache miss, exactly like ite(); an abort leaves
   // only dead nodes behind.
@@ -578,7 +580,7 @@ Edge Manager::xor_kernel(Edge f, Edge g) {
   }
   if (f.bits > g.bits) std::swap(f, g);
   Edge result;
-  const CacheKey key = cache_key(kOpXor, f, g, kZero);
+  const CacheKey key = cache_key(cache_tag::kXor, f, g, kZero);
   if (cache_lookup(key, &result)) {
     return result.complement_if(out_complement);
   }
@@ -605,11 +607,11 @@ bool Manager::disjoint_rec(Edge f, Edge g) {
   Edge cached;
   // A memoized AND answers exactly; an AND->0 subproof doubles as a
   // disjointness certificate and vice versa (inserted below).
-  const CacheKey and_key = cache_key(kOpAnd, f, g, kZero);
+  const CacheKey and_key = cache_key(cache_tag::kAnd, f, g, kZero);
   if (cache_lookup(and_key, &cached)) return cached == kZero;
   // Intersection markers from earlier early-exit walks: stored under their
   // own tag because "f & g != 0" does not say what f & g *is*.
-  const CacheKey marker_key = cache_key(kOpDisjoint, f, g, kZero);
+  const CacheKey marker_key = cache_key(cache_tag::kDisjoint, f, g, kZero);
   if (cache_lookup(marker_key, &cached)) return false;
   governor_.charge_step();
   const std::uint32_t v = top_var(f, g);

@@ -30,6 +30,8 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/thread_annotations.hpp"
+#include "bdd/cache_tags.hpp"
 #include "bdd/edge.hpp"
 #include "bdd/governor.hpp"
 #include "bdd/node.hpp"
@@ -88,7 +90,17 @@ class VisitScratch {
   std::uint32_t epoch_ = 0;
 };
 
-class Manager {
+/// Concurrency contract: a Manager is a *single-owner* resource — exactly
+/// one thread may touch a given instance (and everything reachable from
+/// it: Edges, the governor, the counter bank) at any time.  The batch
+/// engine honors this by giving each worker a private pooled Manager and
+/// exchanging only manager-independent Job snapshots.  The class is
+/// declared a Clang capability so that when the shared concurrent manager
+/// lands, cross-thread use has to be expressed as an explicit capability
+/// transfer (REQUIRES/ACQUIRE at the call sites) instead of compiling
+/// silently; until then no code locks a Manager and the annotation is
+/// purely declarative.  See docs/CONCURRENCY.md.
+class BDDMIN_CAPABILITY("Manager") Manager {
  public:
   /// Largest accepted cache_log2; beyond it the constructor throws
   /// bddmin::OutOfMemory instead of attempting (or silently overcommitting)
@@ -268,7 +280,9 @@ class Manager {
   // ---- Computed cache (shared with client algorithms) ------------------
   /// Operation tags below this value are reserved for the manager itself;
   /// client algorithms (the minimization heuristics) use tags >= this.
-  static constexpr std::uint32_t kUserOpBase = 64;
+  /// Every tag value lives in bdd/cache_tags.hpp — the single registry —
+  /// never as a local constant (lint rule R2).
+  static constexpr std::uint32_t kUserOpBase = cache_tag::kUserBase;
   [[nodiscard]] bool cache_lookup(std::uint32_t op, Edge a, Edge b, Edge c,
                                   Edge* out) const noexcept;
   void cache_insert(std::uint32_t op, Edge a, Edge b, Edge c, Edge result) noexcept;
@@ -307,12 +321,6 @@ class Manager {
 
  private:
   friend struct analysis::ManagerAccess;
-  enum Op : std::uint32_t {
-    kOpIte = 1,
-    kOpAnd = 2,       // and_kernel results (and leq/disjoint subproofs)
-    kOpXor = 3,       // xor_kernel results
-    kOpDisjoint = 4,  // disjoint_rec "intersecting" markers (result is one())
-  };
 
   struct CacheEntry {
     std::uint64_t k1 = ~0ull;   // (op << 32) | a.bits; ~0 marks an empty slot

@@ -8,20 +8,10 @@
 #include <span>
 #include <vector>
 
+#include "bdd/cache_tags.hpp"
 #include "bdd/manager.hpp"
 
 namespace bddmin {
-
-/// Computed-cache tags used by the budgeted recursions below.  Public so
-/// the manager can classify cache traffic per op class for telemetry;
-/// they must stay distinct from the tags manager.cpp uses internally
-/// (1..7) and below Manager::kUserOpBase.
-namespace cache_tag {
-inline constexpr std::uint32_t kCofactor = 8;
-inline constexpr std::uint32_t kExists = 9;
-inline constexpr std::uint32_t kAndExists = 10;
-inline constexpr std::uint32_t kCompose = 11;
-}  // namespace cache_tag
 
 /// Cofactor of f with variable \p var fixed to \p value (Shannon cofactor
 /// at any depth, not just the root).

@@ -1,8 +1,8 @@
 #include "bdd/truth_table.hpp"
 
-#include <cassert>
 #include <vector>
 
+#include "analysis/check.hpp"
 #include "bdd/ops.hpp"
 
 namespace bddmin {
@@ -39,14 +39,14 @@ Edge from_tt_rec(Manager& mgr, std::uint64_t tt, unsigned n, unsigned var) {
 }  // namespace
 
 Edge from_tt(Manager& mgr, std::uint64_t tt, unsigned n) {
-  assert(n <= kMaxTtVars);
-  assert(mgr.num_vars() >= n);
+  BDDMIN_CHECK(n <= kMaxTtVars);
+  BDDMIN_CHECK(mgr.num_vars() >= n);
   tt &= tt_mask(n);
   return from_tt_rec(mgr, tt, n, 0);
 }
 
 std::uint64_t to_tt(const Manager& mgr, Edge f, unsigned n) {
-  assert(n <= kMaxTtVars);
+  BDDMIN_CHECK(n <= kMaxTtVars);
   std::uint64_t tt = 0;
   std::vector<bool> assignment(mgr.num_vars(), false);
   for (std::uint64_t m = 0; m < (1ull << n); ++m) {

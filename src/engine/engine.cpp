@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "analysis/cover_audit.hpp"
+#include "analysis/thread_annotations.hpp"
 #include "bdd/bdd.hpp"
 #include "bdd/ops.hpp"
 #include "engine/queue.hpp"
@@ -30,19 +31,19 @@ class ResultSink {
  public:
   explicit ResultSink(std::size_t num_jobs) : slots_(num_jobs) {}
 
-  void deliver(std::size_t index, JobOutcome outcome) {
+  void deliver(std::size_t index, JobOutcome outcome) BDDMIN_EXCLUDES(mu_) {
     const std::lock_guard<std::mutex> lock(mu_);
     slots_[index] = std::move(outcome);
   }
 
-  [[nodiscard]] std::vector<JobOutcome> take() {
+  [[nodiscard]] std::vector<JobOutcome> take() BDDMIN_EXCLUDES(mu_) {
     const std::lock_guard<std::mutex> lock(mu_);
     return std::move(slots_);
   }
 
  private:
   std::mutex mu_;
-  std::vector<JobOutcome> slots_;
+  std::vector<JobOutcome> slots_ BDDMIN_GUARDED_BY(mu_);
 };
 
 struct WorkerContext {
@@ -161,6 +162,7 @@ JobOutcome process_job(const Job& job, const WorkerContext& ctx,
     const auto start = Clock::now();
     // `best` is only read back on the exception edge; pin it so the abort
     // handler sees the stored value (see pin_for_unwind in governor.hpp).
+    // bddmin-lint: allow(R4) -- best always aliases spec.f or a cover, both pinned (f_pin / covers)
     pin_for_unwind(best);
     Edge g{};
     telemetry::PhaseProfile profile;
@@ -335,12 +337,14 @@ std::size_t BatchReport::count(JobStatus s) const noexcept {
 BatchReport run_batch(std::span<const Job> jobs, const EngineOptions& opts) {
   EngineOptions effective = opts;
   if (effective.node_limit == 0) {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read once before workers start.
     if (const char* env = std::getenv("BDDMIN_NODE_LIMIT")) {
       effective.node_limit =
           static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
     }
   }
   if (effective.step_limit == 0) {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read once before workers start.
     if (const char* env = std::getenv("BDDMIN_STEP_LIMIT")) {
       effective.step_limit = std::strtoull(env, nullptr, 10);
     }

@@ -1,8 +1,8 @@
 #include "fsm/encoding.hpp"
 
-#include <cassert>
 #include <stdexcept>
 
+#include "analysis/check.hpp"
 #include "bdd/ops.hpp"
 
 namespace bddmin::fsm {
@@ -20,7 +20,7 @@ Edge state_code(Manager& mgr, std::span<const std::uint32_t> state_vars,
 
 Edge pattern_cube(Manager& mgr, std::span<const std::uint32_t> vars,
                   std::string_view pattern) {
-  assert(vars.size() == pattern.size());
+  BDDMIN_CHECK(vars.size() == pattern.size());
   Edge cube = kOne;
   for (std::size_t i = pattern.size(); i-- > 0;) {
     if (pattern[i] == '-') continue;
@@ -72,8 +72,8 @@ SymbolicFsm encode_fsm(Manager& mgr, const Fsm& fsm,
 StepResult simulate_step(const Manager& mgr, const SymbolicFsm& machine,
                          const std::vector<bool>& state_bits,
                          const std::vector<bool>& input_bits) {
-  assert(state_bits.size() == machine.state_vars.size());
-  assert(input_bits.size() == machine.input_vars.size());
+  BDDMIN_CHECK(state_bits.size() == machine.state_vars.size());
+  BDDMIN_CHECK(input_bits.size() == machine.input_vars.size());
   std::vector<bool> assignment(mgr.num_vars(), false);
   for (std::size_t k = 0; k < machine.state_vars.size(); ++k) {
     assignment[machine.state_vars[k]] = state_bits[k];

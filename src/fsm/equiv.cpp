@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "analysis/check.hpp"
 #include "bdd/cube.hpp"
 #include "bdd/ops.hpp"
 #include "minimize/sibling.hpp"
@@ -14,7 +15,7 @@ namespace {
 /// absent from the chosen cube read as false.
 std::vector<bool> pick_assignment(Manager& mgr, Edge f,
                                   std::span<const std::uint32_t> vars) {
-  assert(f != kZero);
+  BDDMIN_CHECK(f != kZero);
   CubeVec chosen;
   for_each_cube(mgr, f, mgr.num_vars(), 1, [&](const CubeVec& cube) {
     chosen = cube;

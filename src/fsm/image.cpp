@@ -1,7 +1,6 @@
 #include "fsm/image.hpp"
 
-#include <cassert>
-
+#include "analysis/check.hpp"
 #include "bdd/ops.hpp"
 #include "minimize/sibling.hpp"
 
@@ -16,7 +15,7 @@ ImageComputer::ImageComputer(Manager& mgr, const SymbolicFsm& machine,
       method_(method),
       observer_(std::move(observer)),
       pin_(mgr) {
-  assert(next_vars_.size() == machine.state_vars.size());
+  BDDMIN_CHECK(next_vars_.size() == machine.state_vars.size());
   // The minimization hook may garbage-collect mid-traversal; everything
   // this computer reuses across image() calls must stay referenced.
   for (const Edge e : machine.next_state) pin_.pin(e);

@@ -1,8 +1,9 @@
 #include "harness/stats.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <numeric>
+
+#include "analysis/check.hpp"
 
 namespace bddmin::harness {
 namespace {
@@ -61,7 +62,7 @@ Table3 aggregate_table3(const std::vector<std::string>& names,
   table.mid = make_bucket("5% <= c_onset <= 95%", names.size());
   table.high = make_bucket("c_onset > 95%", names.size());
   for (const CallRecord& record : records) {
-    assert(record.outcomes.size() == names.size());
+    BDDMIN_CHECK(record.outcomes.size() == names.size());
     accumulate(table.all, record);
     if (record.c_onset < 0.05) {
       accumulate(table.low, record);

@@ -151,7 +151,12 @@ class CounterBank {
 
 /// Per-Manager counter bank.  Plain uint64 — the owning Manager is
 /// single-threaded, so a bump is one increment, no synchronization.
-class CounterBank {
+///
+/// alignas(64): each batch-engine worker owns one pooled Manager and bumps
+/// its bank on every hot-path event.  Managers for neighbouring workers can
+/// be allocated close together; cache-line alignment guarantees two workers
+/// never false-share a line through their banks.
+class alignas(64) CounterBank {
  public:
   void bump(Counter c) noexcept { ++values_[static_cast<std::size_t>(c)]; }
   void add(Counter c, std::uint64_t n) noexcept {
@@ -181,6 +186,13 @@ class CounterBank {
 /// Process-wide aggregate.  Workers flush one whole-job snapshot at job
 /// end (coarse-grained), so relaxed atomics suffice: there is no ordering
 /// relationship to protect, only the final sums.
+///
+/// Concurrency contract: intentionally *not* a capability — there is no
+/// mutex and no exclusion to express.  Every member is safe from any thread
+/// because each word is individually atomic; a snapshot() concurrent with
+/// add() may observe a torn *set* of counters (some slots before the add,
+/// some after), which is acceptable for monitoring output.  See
+/// docs/CONCURRENCY.md.
 class GlobalCounters {
  public:
   void add(const CounterSnapshot& s) noexcept {

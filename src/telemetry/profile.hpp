@@ -107,6 +107,10 @@ class ProfileCollector {
 
 /// RAII phase marker.  No-op when no collector is installed or the
 /// collector is already in \p p (nested same-phase scopes are free).
+///
+/// Must be bound to a named local: a discarded temporary switches the
+/// phase and switches straight back, attributing nothing — lint rule R5
+/// (tools/bddmin_lint.py) rejects that form.
 class PhaseScope {
  public:
   explicit PhaseScope(Phase p) noexcept {

@@ -11,6 +11,8 @@
 #include <mutex>
 #include <vector>
 
+#include "analysis/thread_annotations.hpp"
+
 namespace bddmin::telemetry {
 namespace {
 
@@ -32,14 +34,16 @@ struct OpenSpan {
 
 /// One thread's buffer.  The owning thread appends under the per-log
 /// mutex; stop() takes the same mutex when merging, so a scope closing
-/// concurrently with shutdown is never torn.
+/// concurrently with shutdown is never torn.  `tid` and `generation` are
+/// written once by the creating thread before the log is published (under
+/// Impl::mu) and immutable afterwards, so they need no guard.
 struct ThreadLog {
   std::mutex mu;
   std::uint32_t tid = 0;
   std::uint64_t generation = 0;
-  std::string thread_name;
-  std::vector<TraceEvent> events;
-  std::vector<OpenSpan> stack;
+  std::string thread_name BDDMIN_GUARDED_BY(mu);
+  std::vector<TraceEvent> events BDDMIN_GUARDED_BY(mu);
+  std::vector<OpenSpan> stack BDDMIN_GUARDED_BY(mu);
 };
 
 void json_escape(std::string* out, const std::string& s) {
@@ -65,21 +69,30 @@ void json_escape(std::string* out, const std::string& s) {
 }  // namespace
 
 struct Tracer::Impl {
-  std::mutex mu;  // guards logs / next_tid / path / generation
-  std::vector<std::shared_ptr<ThreadLog>> logs;
-  std::uint32_t next_tid = 1;
-  std::uint64_t generation = 0;
-  std::string path;
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadLog>> logs BDDMIN_GUARDED_BY(mu);
+  std::uint32_t next_tid BDDMIN_GUARDED_BY(mu) = 1;
+  std::string path BDDMIN_GUARDED_BY(mu);
+  /// Bumped by start()/check_env() to invalidate thread-local cached logs.
+  /// Atomic: log_for_this_thread() compares it on every traced event, on
+  /// any thread, without taking `mu` — a plain field would race the bump.
+  std::atomic<std::uint64_t> generation{0};
+  /// Written by start()/check_env() before the tracer is published via the
+  /// g_tracer release store; read unlocked by now_ns() on any thread after
+  /// the matching acquire load.  Publication is the synchronization.
   Clock::time_point epoch{};
 
-  std::shared_ptr<ThreadLog> log_for_this_thread() {
+  std::shared_ptr<ThreadLog> log_for_this_thread() BDDMIN_EXCLUDES(mu) {
     thread_local std::shared_ptr<ThreadLog> cached;
-    if (cached && cached->generation == generation) return cached;
+    if (cached &&
+        cached->generation == generation.load(std::memory_order_acquire)) {
+      return cached;
+    }
     auto fresh = std::make_shared<ThreadLog>();
     {
       const std::lock_guard<std::mutex> lock(mu);
       fresh->tid = next_tid++;
-      fresh->generation = generation;
+      fresh->generation = generation.load(std::memory_order_relaxed);
       logs.push_back(fresh);
     }
     cached = fresh;
@@ -119,11 +132,15 @@ Tracer* check_env() noexcept {
     return g_tracer.load(std::memory_order_acquire);
   }
   Tracer* activated = nullptr;
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): first-use check under g_lifecycle_mu.
   if (const char* path = std::getenv("BDDMIN_TRACE"); path && *path) {
     Tracer* t = Tracer::singleton();
-    t->impl_->path = path;
+    {
+      const std::lock_guard<std::mutex> impl_lock(t->impl_->mu);
+      t->impl_->path = path;
+    }
     t->impl_->epoch = Clock::now();
-    ++t->impl_->generation;
+    t->impl_->generation.fetch_add(1, std::memory_order_release);
     g_tracer.store(t, std::memory_order_release);
     std::atexit([] { (void)Tracer::stop(); });
     activated = t;
@@ -140,12 +157,16 @@ bool Tracer::start(const std::string& path) {
     return false;
   }
   Tracer* t = singleton();
-  const std::lock_guard<std::mutex> impl_lock(t->impl_->mu);
-  t->impl_->path = path;
+  {
+    const std::lock_guard<std::mutex> impl_lock(t->impl_->mu);
+    t->impl_->path = path;
+    t->impl_->logs.clear();
+    t->impl_->next_tid = 1;
+  }
   t->impl_->epoch = Clock::now();
-  t->impl_->logs.clear();
-  t->impl_->next_tid = 1;
-  ++t->impl_->generation;  // invalidates thread-local cached logs
+  // Invalidates thread-local cached logs (paired with the acquire load in
+  // log_for_this_thread).
+  t->impl_->generation.fetch_add(1, std::memory_order_release);
   detail::g_tracer.store(t, std::memory_order_release);
   return true;
 }

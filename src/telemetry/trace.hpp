@@ -72,6 +72,11 @@ class Tracer {
 
 /// RAII span: emits one complete ("X") event on the calling thread's
 /// track.  Strict nesting follows from scope nesting.
+///
+/// Must be bound to a named local: `TraceScope s("x", "y");`.  A discarded
+/// temporary (`TraceScope("x", "y");`) closes the span immediately and
+/// records a zero-length event — lint rule R5 (tools/bddmin_lint.py)
+/// rejects that form.
 class TraceScope {
  public:
   TraceScope(const char* name, const char* cat) {

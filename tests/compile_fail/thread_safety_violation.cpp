@@ -1,0 +1,34 @@
+/// Negative compile test: reading a BDDMIN_GUARDED_BY member without its
+/// mutex must be rejected by Clang's -Werror=thread-safety.  This file is
+/// built on demand by the `lint_thread_safety_compile_fail` ctest entry
+/// (WILL_FAIL) and must NOT compile — if it ever does, the annotation
+/// plumbing in analysis/thread_annotations.hpp has gone dead.
+#include <mutex>
+
+#include "analysis/thread_annotations.hpp"
+
+namespace {
+
+class Account {
+ public:
+  // VIOLATION: touches balance_ without holding mu_.
+  void unsafe_deposit(int amount) { balance_ += amount; }
+
+  void safe_deposit(int amount) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    balance_ += amount;
+  }
+
+ private:
+  std::mutex mu_;
+  int balance_ BDDMIN_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.unsafe_deposit(1);
+  account.safe_deposit(1);
+  return 0;
+}

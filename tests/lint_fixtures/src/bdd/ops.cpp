@@ -1,0 +1,46 @@
+// Lint fixture (never compiled): seeds one R1 violation in a file whose
+// path mirrors the real BDD core, which is where R1 applies.  Expected
+// findings are asserted line-exactly by tests/test_lint.cpp — keep line
+// numbers stable when editing.
+#include <cstdint>
+
+namespace bddmin {
+
+struct Edge {
+  std::uint32_t bits = 0;
+};
+
+struct Governor {
+  void charge_step();
+};
+
+struct Mgr {
+  bool cache_lookup(std::uint32_t op, Edge a, Edge b, Edge c, Edge* out);
+  void cache_insert(std::uint32_t op, Edge a, Edge b, Edge c, Edge result);
+  Governor& governor();
+  Edge make(Edge a, Edge b);
+};
+
+constexpr std::uint32_t kOpFixture = cache_tag::kCofactor;
+
+// VIOLATION R1: memoized recursion that never charges the governor — the
+// step budget cannot see this op.  Body opens on line 28.
+Edge uncharged_rec(Mgr& mgr, Edge f, Edge g) {
+  Edge result;
+  if (mgr.cache_lookup(kOpFixture, f, g, Edge{}, &result)) return result;
+  result = mgr.make(f, g);
+  mgr.cache_insert(kOpFixture, f, g, Edge{}, result);
+  return result;
+}
+
+// Compliant: charges on the miss path.  No finding.
+Edge charged_rec(Mgr& mgr, Edge f, Edge g) {
+  Edge result;
+  if (mgr.cache_lookup(kOpFixture, f, g, Edge{}, &result)) return result;
+  mgr.governor().charge_step();
+  result = mgr.make(f, g);
+  mgr.cache_insert(kOpFixture, f, g, Edge{}, result);
+  return result;
+}
+
+}  // namespace bddmin

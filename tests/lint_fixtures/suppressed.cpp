@@ -1,0 +1,19 @@
+// Lint fixture (never compiled): exercises the suppression machinery.
+// One justified allow() silences its finding; one naked allow() is itself
+// reported.  Expected findings are asserted line-exactly by
+// tests/test_lint.cpp.
+#include <cassert>
+
+namespace bddmin {
+
+void justified(int x) {
+  // Suppressed — no finding: the justification rides on the allow().
+  assert(x > 0);  // bddmin-lint: allow(R3) -- fixture: demonstrates a justified suppression
+}
+
+void naked(int x) {
+  // bddmin-lint: allow(R3)
+  assert(x > 0);  // VIOLATION (line 16): allow() without justification
+}
+
+}  // namespace bddmin

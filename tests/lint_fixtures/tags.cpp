@@ -1,0 +1,28 @@
+// Lint fixture (never compiled): seeds R2 violations — ad-hoc cache tags
+// that bypass the src/bdd/cache_tags.hpp registry.  Expected findings are
+// asserted line-exactly by tests/test_lint.cpp.
+#include <cstdint>
+
+namespace bddmin {
+
+struct Edge {};
+
+struct Mgr {
+  bool cache_lookup(std::uint32_t op, Edge a, Edge b, Edge c, Edge* out);
+  void cache_insert(std::uint32_t op, Edge a, Edge b, Edge c, Edge result);
+};
+
+// VIOLATION R2 (line 16): the alias targets a tag the registry never defined.
+constexpr std::uint32_t kOpBogus = cache_tag::kNoSuchTag;
+
+void seed(Mgr& mgr, Edge f) {
+  Edge out;
+  // VIOLATION R2 (line 21): raw numeric tag, not a registry constant.
+  mgr.cache_insert(42u, f, f, f, f);
+  // Compliant forms — no findings.
+  (void)mgr.cache_lookup(analysis::ManagerAccess::op_ite(), f, f, f, &out);
+  mgr.cache_insert(Manager::kUserOpBase + 3, f, f, f, f);
+  (void)mgr.cache_lookup(cache_tag::kExists, f, f, f, &out);
+}
+
+}  // namespace bddmin

@@ -133,6 +133,7 @@ Edge run_limited(Manager& mgr, const minimize::Heuristic& h,
     mgr.garbage_collect();
   }
   mgr.governor().clear();
+  // bddmin-lint: allow(R4) -- on the GC path g aliases f, pinned above via pin_for_unwind
   return g;
 }
 
