@@ -44,6 +44,10 @@ std::optional<ExactResult> exact_minimum_tt(std::uint64_t f_tt,
 
 std::optional<ExactResult> exact_minimum(Manager& mgr, Edge f, Edge c,
                                          unsigned n, unsigned max_dc_bits) {
+  // Refuse wide instances *before* converting: to_tt requires
+  // n <= kMaxTtVars, and exact_minimum_tt's own guard runs too late to
+  // protect the conversion.
+  if (n > kMaxTtVars) return std::nullopt;
   return exact_minimum_tt(to_tt(mgr, f, n), to_tt(mgr, c, n), n, max_dc_bits);
 }
 

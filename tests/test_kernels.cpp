@@ -25,6 +25,23 @@ namespace {
 Edge ite_and(Manager& mgr, Edge f, Edge g) { return mgr.ite(f, g, kZero); }
 Edge ite_xor(Manager& mgr, Edge f, Edge g) { return mgr.ite(f, !g, g); }
 
+/// Semantic 64-bit fingerprint of an n-variable function: FNV-1a over the
+/// value at every one of the 2^n assignments.  Unlike to_tt this is valid
+/// for n > kMaxTtVars (the test used to funnel 12-variable functions
+/// through to_tt, whose 1ull << m wrapped past bit 63 — shift UB that
+/// silently degraded the comparison to an OR-fold; to_tt now enforces its
+/// contract, and this helper is both well-defined and strictly stronger).
+std::uint64_t eval_fingerprint(const Manager& mgr, Edge f, unsigned n) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  std::vector<bool> assignment(mgr.num_vars(), false);
+  for (std::uint64_t m = 0; m < (1ull << n); ++m) {
+    for (unsigned v = 0; v < n; ++v) assignment[v] = (m >> v) & 1;
+    h ^= static_cast<std::uint64_t>(eval(mgr, f, assignment));
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
 TEST(Kernels, ExhaustiveThreeVariablePairsMatchIteOracle) {
   Manager mgr(3);
   std::vector<Edge> fn(256);
@@ -179,12 +196,12 @@ TEST(CacheGrowth, ResultsSurviveMidRecursionResize) {
     const Bdd ga(tiny, workload::random_function(tiny, 12, 0.35, rng_a));
     const Bdd fb(big, workload::random_function(big, 12, 0.35, rng_b));
     const Bdd gb(big, workload::random_function(big, 12, 0.35, rng_b));
-    EXPECT_EQ(to_tt(tiny, tiny.and_(fa.edge(), ga.edge()), 12),
-              to_tt(big, big.and_(fb.edge(), gb.edge()), 12));
-    EXPECT_EQ(to_tt(tiny, tiny.xor_(fa.edge(), ga.edge()), 12),
-              to_tt(big, big.xor_(fb.edge(), gb.edge()), 12));
-    EXPECT_EQ(to_tt(tiny, tiny.ite(fa.edge(), ga.edge(), !ga.edge()), 12),
-              to_tt(big, big.ite(fb.edge(), gb.edge(), !gb.edge()), 12));
+    EXPECT_EQ(eval_fingerprint(tiny, tiny.and_(fa.edge(), ga.edge()), 12),
+              eval_fingerprint(big, big.and_(fb.edge(), gb.edge()), 12));
+    EXPECT_EQ(eval_fingerprint(tiny, tiny.xor_(fa.edge(), ga.edge()), 12),
+              eval_fingerprint(big, big.xor_(fb.edge(), gb.edge()), 12));
+    EXPECT_EQ(eval_fingerprint(tiny, tiny.ite(fa.edge(), ga.edge(), !ga.edge()), 12),
+              eval_fingerprint(big, big.ite(fb.edge(), gb.edge(), !gb.edge()), 12));
   }
   EXPECT_GT(tiny.cache_log2(), 2u) << "workload never triggered growth";
   if (telemetry::kCountersEnabled) {

@@ -212,6 +212,34 @@ TEST(Trace, RoundTripIsValidAndThreadAware) {
   }
 }
 
+TEST(Trace, RestartWhileWorkersEmitSpansIsRaceFree) {
+  // Regression: Tracer::Impl::generation used to be a plain uint64 read
+  // unlocked by log_for_this_thread() (the cached-log validity check)
+  // while start() incremented it under a different mutex — a data race
+  // TSan flags on any stop()/start() cycle concurrent with tracing
+  // threads.  generation is atomic now; this test drives exactly that
+  // interleaving and must stay clean under -DBDDMIN_SANITIZE=thread.
+  const std::string base = testing::TempDir() + "bddmin_trace_restart";
+  std::atomic<bool> done{false};
+  std::thread worker([&done] {
+    while (!done.load(std::memory_order_relaxed)) {
+      const TraceScope s("restart-span", "test");
+      trace_instant("restart-tick", "test");
+    }
+  });
+  for (int round = 0; round < 50; ++round) {
+    const std::string path = base + std::to_string(round) + ".json";
+    if (Tracer::start(path)) {
+      // A couple of spans on this thread force fresh log registration
+      // against the bumped generation.
+      const TraceScope s("main-span", "test");
+      (void)Tracer::stop();
+    }
+  }
+  done.store(true, std::memory_order_relaxed);
+  worker.join();
+}
+
 TEST(Trace, ValidatorRejectsGarbageAndOverlaps) {
   EXPECT_NE(validate_trace("not json"), "");
   EXPECT_NE(validate_trace("{\"traceEvents\":42}"), "");
