@@ -213,6 +213,8 @@ class ResourceGovernor {
   }
 
  private:
+  friend class NodeQuotaSuspension;
+
   [[noreturn]] void throw_step_limit() const;
   [[noreturn]] void throw_deadline() const;
 
@@ -225,6 +227,38 @@ class ResourceGovernor {
   std::size_t peak_live_ = 0;
   bool watching_steps_ = false;
   bool soft_exceeded_ = false;
+};
+
+/// RAII: suspend the node quotas (soft and hard) for the duration of a
+/// structural operation that must not abort mid-mutation — adjacent-level
+/// swaps rewrite the table after flipping the order maps, so a NodeLimit
+/// thrown from unique_insert inside the rewrite would tear the manager and
+/// break the strong abort guarantee.  Only the quota checked by
+/// `unique_insert` is paused: the step budget, deadline and all telemetry
+/// keep running, and — unlike `set_limits` — neither the step counter nor
+/// the deadline clock is reset.  The exact previous quotas are restored on
+/// scope exit (including unwinding); the caller re-enforces them at the
+/// next safe point with `check_nodes`.
+class NodeQuotaSuspension {
+ public:
+  explicit NodeQuotaSuspension(ResourceGovernor& gov) noexcept
+      : gov_(gov),
+        soft_(gov.limits_.soft_node_limit),
+        hard_(gov.limits_.hard_node_limit) {
+    gov_.limits_.soft_node_limit = 0;
+    gov_.limits_.hard_node_limit = 0;
+  }
+  NodeQuotaSuspension(const NodeQuotaSuspension&) = delete;
+  NodeQuotaSuspension& operator=(const NodeQuotaSuspension&) = delete;
+  ~NodeQuotaSuspension() {
+    gov_.limits_.soft_node_limit = soft_;
+    gov_.limits_.hard_node_limit = hard_;
+  }
+
+ private:
+  ResourceGovernor& gov_;
+  std::size_t soft_;
+  std::size_t hard_;
 };
 
 /// Pin \p v to its stack slot before a budgeted call whose abort handler

@@ -649,6 +649,26 @@ std::ptrdiff_t Manager::swap_adjacent_levels(std::uint32_t level) {
       }
     }
   }
+  // Once the order maps are flipped and the rewrite below starts, a throw
+  // would tear the table (maps flipped, nodes half rewritten, the current
+  // node unlinked) — exactly the abort the strong guarantee forbids.  So
+  // the whole mutation runs with the node quota suspended, and the
+  // worst-case slot growth (2 fresh nodes per interacting node, plus their
+  // free-list slots when they die again) is reserved up front, where a
+  // failed allocation still leaves the table untouched.  The quota is
+  // re-enforced at the safe point after the swap completes, so a budgeted
+  // reorder still aborts — between swaps, never inside one.  (grow_buckets
+  // keeps the table consistent on its own OOM path, see its handler.)
+  std::vector<std::uint32_t> dead;
+  NodeQuotaSuspension quota_pause(governor_);
+  try {
+    nodes_.reserve(nodes_.size() + 2 * interacting.size());
+    free_list_.reserve(free_list_.size() + 2 * interacting.size());
+    dead.reserve(2 * interacting.size());
+  } catch (const std::bad_alloc&) {
+    throw OutOfMemory("node table",
+                      2 * interacting.size() * sizeof(Node));
+  }
   // Flip the order maps first so make_node's level assertions see the new
   // world while the x-children of the rewritten nodes are created.
   level_to_var_[level] = y;
@@ -656,7 +676,6 @@ std::ptrdiff_t Manager::swap_adjacent_levels(std::uint32_t level) {
   var_to_level_[x] = level + 1;
   var_to_level_[y] = level;
 
-  std::vector<std::uint32_t> dead;
   for (const std::uint32_t index : interacting) {
     subtable_unlink(index);
     const Edge f1 = nodes_[index].hi;  // regular by invariant
@@ -717,9 +736,19 @@ void Manager::sift_var(std::uint32_t var, double max_growth) {
   std::uint32_t best_level = level_of_var(var);
   const std::ptrdiff_t limit =
       static_cast<std::ptrdiff_t>(static_cast<double>(size) * max_growth) + 2;
+  // Each swap runs with the node quota suspended (it must not abort
+  // mid-mutation, see swap_adjacent_levels); re-enforce the quota at the
+  // swap boundaries, where the table is consistent — a budgeted reorder
+  // then aborts between swaps with the strong guarantee intact.
+  const auto quota_safe_point = [this] {
+    if (governor_.node_limited()) {
+      governor_.check_nodes(live_count_ + dead_count_);
+    }
+  };
   // Downward pass.
   while (level_of_var(var) + 1 < num_vars_ && size <= limit) {
     size += swap_adjacent_levels(level_of_var(var));
+    quota_safe_point();
     if (size < best) {
       best = size;
       best_level = level_of_var(var);
@@ -728,6 +757,7 @@ void Manager::sift_var(std::uint32_t var, double max_growth) {
   // Upward pass (through the start position to the top).
   while (level_of_var(var) > 0 && size <= limit) {
     size += swap_adjacent_levels(level_of_var(var) - 1);
+    quota_safe_point();
     if (size <= best) {
       best = size;
       best_level = level_of_var(var);
@@ -736,9 +766,11 @@ void Manager::sift_var(std::uint32_t var, double max_growth) {
   // Settle at the best position seen.
   while (level_of_var(var) < best_level) {
     size += swap_adjacent_levels(level_of_var(var));
+    quota_safe_point();
   }
   while (level_of_var(var) > best_level) {
     size += swap_adjacent_levels(level_of_var(var) - 1);
+    quota_safe_point();
   }
 }
 
@@ -766,10 +798,15 @@ void Manager::set_order(std::span<const std::uint32_t> order) {
     seen[v] = true;
   }
   // Selection sort by adjacent swaps: bubble each target variable up.
+  // As in sift_var, the node quota is enforced between swaps (never
+  // inside one); an abort leaves a consistent, partially permuted table.
   for (std::uint32_t target = 0; target < num_vars_; ++target) {
     const std::uint32_t var = order[target];
     while (level_of_var(var) > target) {
       (void)swap_adjacent_levels(level_of_var(var) - 1);
+      if (governor_.node_limited()) {
+        governor_.check_nodes(live_count_ + dead_count_);
+      }
     }
   }
   clear_caches();

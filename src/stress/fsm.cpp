@@ -1,0 +1,108 @@
+#include "stress/fsm.hpp"
+
+#include <stdexcept>
+
+#include "analysis/check.hpp"
+
+namespace bddmin::stress {
+
+std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t thread,
+                          std::uint64_t step, std::uint64_t salt) noexcept {
+  // One SplitMix64 scramble per mixed-in word: cheap, stable, and the
+  // resulting streams are independent for distinct (thread, step, salt).
+  StepRng mix(seed ^ (thread * 0xd1b54a32d192ed03ull) ^
+              (step * 0x8bb84b93962eacc9ull) ^ (salt * 0x2545f4914f6cdd1dull));
+  return mix.next();
+}
+
+std::string StressFsm::validate() const {
+  if (states.empty()) return "no states";
+  if (start >= states.size()) return "start state out of range";
+  if (!transitions.empty() && transitions.size() != states.size()) {
+    return "transitions rows != states (give one row per state, or none)";
+  }
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    if (states[i].name.empty()) return "state " + std::to_string(i) + " unnamed";
+    if (!states[i].run) {
+      return "state '" + states[i].name + "' has no run function";
+    }
+    for (std::size_t j = i + 1; j < states.size(); ++j) {
+      if (states[i].name == states[j].name) {
+        return "duplicate state name '" + states[i].name + "'";
+      }
+    }
+  }
+  for (std::size_t i = 0; i < transitions.size(); ++i) {
+    double mass = 0.0;
+    for (const Transition& t : transitions[i]) {
+      if (t.target >= states.size()) {
+        return "state '" + states[i].name + "' has an out-of-range successor";
+      }
+      if (!(t.weight > 0.0)) {
+        return "state '" + states[i].name + "' has a non-positive edge weight";
+      }
+      mass += t.weight;
+    }
+    if (!transitions[i].empty() && !(mass > 0.0)) {
+      return "state '" + states[i].name + "' has zero outgoing mass";
+    }
+  }
+  return "";
+}
+
+std::size_t StressFsm::state_index(const std::string& state_name) const {
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    if (states[i].name == state_name) return i;
+  }
+  throw std::out_of_range("no stress state named '" + state_name + "' in " +
+                          name);
+}
+
+std::size_t StressFsm::next_state(std::size_t current, StepRng& rng) const {
+  BDDMIN_CHECK(current < states.size());
+  if (transitions.empty() || transitions[current].empty()) {
+    return rng.below(states.size());
+  }
+  const std::vector<Transition>& row = transitions[current];
+  double mass = 0.0;
+  for (const Transition& t : row) mass += t.weight;
+  // Same weighted-choice shape as fsm.js getWeightedRandomChoice: walk the
+  // row subtracting mass until the draw lands inside an edge.
+  double draw = rng.unit() * mass;
+  for (const Transition& t : row) {
+    if (draw < t.weight) return t.target;
+    draw -= t.weight;
+  }
+  return row.back().target;  // floating-point tail: the last edge owns it
+}
+
+FsmBuilder& FsmBuilder::state(
+    std::string state_name, std::function<void(StressContext&)> run,
+    std::function<std::string(StressContext&)> invariant) {
+  fsm_.states.push_back(
+      {std::move(state_name), std::move(run), std::move(invariant)});
+  fsm_.transitions.emplace_back();
+  return *this;
+}
+
+FsmBuilder& FsmBuilder::edge(const std::string& from, const std::string& to,
+                             double weight) {
+  fsm_.transitions[fsm_.state_index(from)].push_back(
+      {fsm_.state_index(to), weight});
+  return *this;
+}
+
+FsmBuilder& FsmBuilder::start(const std::string& state_name) {
+  fsm_.start = fsm_.state_index(state_name);
+  return *this;
+}
+
+StressFsm FsmBuilder::build() {
+  const std::string problem = fsm_.validate();
+  if (!problem.empty()) {
+    throw std::invalid_argument("stress fsm '" + fsm_.name + "': " + problem);
+  }
+  return std::move(fsm_);
+}
+
+}  // namespace bddmin::stress

@@ -1,0 +1,435 @@
+#include "stress/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "bdd/truth_table.hpp"
+
+namespace bddmin::stress {
+namespace {
+
+// Salt lanes of derive_seed: the graph walk and the state bodies must draw
+// from disjoint streams or replaying a state would perturb the walk.
+constexpr std::uint64_t kSaltChoice = 1;  // which state runs at step K
+constexpr std::uint64_t kSaltExec = 2;    // the randomness handed to it
+
+std::string hex64(std::uint64_t v) {
+  char buf[19];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string replay_command_for(const StressFsm& fsm, const StressOptions& o,
+                               unsigned thread, std::size_t step) {
+  return "bddmin_cli stress --workload " + fsm.name + " --seed " +
+         std::to_string(o.seed) + " --steps " +
+         std::to_string(o.steps_per_thread) + " --replay " +
+         std::to_string(thread) + ":" + std::to_string(step);
+}
+
+/// Execute one schedule entry: reseed the context for the entry's original
+/// step index, run the state, then its invariant hook.  Returns true when
+/// clean; fills \p fail (triple, state, diagnostic) otherwise.  An
+/// exception escaping `run` is a failure by definition — states catch the
+/// exceptions they *expect* (a quota-exhaust state catches its own
+/// NodeLimit) so anything that reaches us is a bug.
+bool execute_entry(const StressFsm& fsm, StressContext& ctx,
+                   const ScheduleEntry& entry, StressFailure* fail) {
+  const StressState& st = fsm.states[entry.state];
+  ctx.begin_step(entry.step);
+  ctx.note(st.name);
+  std::string message;
+  try {
+    st.run(ctx);
+    if (st.invariant) message = st.invariant(ctx);
+  } catch (const std::exception& ex) {
+    message = std::string("unexpected exception: ") + ex.what();
+  } catch (...) {
+    message = "unexpected non-standard exception";
+  }
+  if (message.empty()) return true;
+  if (fail != nullptr) {
+    fail->at = {ctx.seed(), ctx.thread(), entry.step};
+    fail->state = st.name;
+    fail->message = std::move(message);
+  }
+  return false;
+}
+
+}  // namespace
+
+// ---- StressContext ------------------------------------------------------
+
+StressContext::StressContext(const StressOptions& opts, std::uint64_t seed,
+                             unsigned thread)
+    : opts_(opts), seed_(seed), thread_(thread) {}
+
+Manager& StressContext::manager() {
+  if (!mgr_) {
+    mgr_ = std::make_unique<Manager>(opts_.num_vars, opts_.cache_log2);
+  }
+  return *mgr_;
+}
+
+void StressContext::recycle_manager() {
+  pool_.clear();  // drop every pin before the table is torn down
+  if (mgr_) mgr_->reset(opts_.num_vars);
+}
+
+void StressContext::discard_manager() {
+  pool_.clear();
+  mgr_.reset();
+}
+
+void StressContext::refill_pool() {
+  Manager& m = manager();
+  const std::uint64_t mask = tt_mask(opts_.num_vars);
+  while (pool_.size() < opts_.pool_functions) {
+    const std::uint64_t tt = rng_.next() & mask;
+    pool_.push_back({Bdd(m, from_tt(m, tt, opts_.num_vars)), tt});
+  }
+}
+
+std::string StressContext::check_pool() {
+  if (!mgr_) return "";
+  const std::uint64_t mask = tt_mask(opts_.num_vars);
+  for (std::size_t i = 0; i < pool_.size(); ++i) {
+    const std::uint64_t got =
+        to_tt(*mgr_, pool_[i].bdd.edge(), opts_.num_vars) & mask;
+    const std::uint64_t want = pool_[i].tt & mask;
+    if (got != want) {
+      return "tracked fn #" + std::to_string(i) + " drifted: truth table " +
+             hex64(got) + ", expected " + hex64(want);
+    }
+  }
+  return "";
+}
+
+std::string StressContext::audit_now(analysis::AuditLevel level) {
+  if (!mgr_ || level == analysis::AuditLevel::kOff) return "";
+  analysis::AuditOptions ao;
+  ao.level = level;
+  ao.max_findings = 8;
+  const analysis::AuditReport rep = analysis::audit_manager(*mgr_, ao);
+  if (rep.ok()) return "";
+  std::string out = std::string("audit: ") +
+                    analysis::category_name(rep.findings.front().category) +
+                    ": " + rep.findings.front().message;
+  if (rep.findings.size() > 1) {
+    out += " (+" + std::to_string(rep.findings.size() - 1 + rep.suppressed) +
+           " more)";
+  }
+  return out;
+}
+
+void StressContext::note(std::string_view bytes) noexcept {
+  for (const char c : bytes) {
+    digest_ ^= static_cast<unsigned char>(c);
+    digest_ *= 1099511628211ull;  // FNV-1a prime
+  }
+}
+
+void StressContext::note_u64(std::uint64_t v) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    digest_ ^= (v >> (8 * i)) & 0xFF;
+    digest_ *= 1099511628211ull;
+  }
+}
+
+void StressContext::begin_step(std::size_t step) noexcept {
+  step_ = step;
+  rng_ = StepRng(derive_seed(seed_, thread_, step, kSaltExec));
+  scratch.clear();
+}
+
+// ---- Walk construction --------------------------------------------------
+
+std::vector<ScheduleEntry> make_walk(const StressFsm& fsm, std::uint64_t seed,
+                                     unsigned thread, std::size_t steps) {
+  std::vector<ScheduleEntry> out;
+  out.reserve(steps);
+  std::size_t cur = fsm.start;
+  for (std::size_t k = 0; k < steps; ++k) {
+    out.push_back({cur, k});
+    StepRng choice(derive_seed(seed, thread, k, kSaltChoice));
+    cur = fsm.next_state(cur, choice);
+  }
+  return out;
+}
+
+// ---- Replay -------------------------------------------------------------
+
+std::optional<StressFailure> replay_schedule(const StressFsm& fsm,
+                                             const StressOptions& opts,
+                                             unsigned thread,
+                                             std::vector<ScheduleEntry> schedule) {
+  StressContext ctx(opts, opts.seed, thread);
+  std::vector<ScheduleEntry> done;
+  done.reserve(schedule.size());
+  for (const ScheduleEntry& entry : schedule) {
+    done.push_back(entry);
+    StressFailure fail;
+    if (!execute_entry(fsm, ctx, entry, &fail)) {
+      fail.replayed = true;
+      fail.entries = done;
+      fail.schedule.reserve(done.size());
+      for (const ScheduleEntry& d : done) {
+        fail.schedule.push_back(fsm.states[d.state].name);
+      }
+      fail.replay_command =
+          replay_command_for(fsm, opts, thread, entry.step);
+      return fail;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<StressFailure> replay(const StressFsm& fsm,
+                                    const StressOptions& opts, unsigned thread,
+                                    std::size_t step) {
+  return replay_schedule(fsm, opts, thread,
+                         make_walk(fsm, opts.seed, thread, step + 1));
+}
+
+// ---- Minimization -------------------------------------------------------
+
+std::vector<ScheduleEntry> minimize_schedule(const StressFsm& fsm,
+                                             const StressOptions& opts,
+                                             unsigned thread,
+                                             std::vector<ScheduleEntry> schedule,
+                                             const std::string& failing_state) {
+  if (schedule.size() < 2) return schedule;
+
+  std::size_t executions = 0;
+  // Run a candidate; when it fails *with the target state* return the index
+  // of the failing entry (a failure in a different state is a different bug
+  // — the candidate is rejected rather than hijacking the minimization).
+  auto run_candidate = [&](const std::vector<ScheduleEntry>& cand)
+      -> std::optional<std::size_t> {
+    ++executions;
+    StressContext ctx(opts, opts.seed, thread);
+    for (std::size_t i = 0; i < cand.size(); ++i) {
+      StressFailure fail;
+      if (!execute_entry(fsm, ctx, cand[i], &fail)) {
+        if (fail.state == failing_state) return i;
+        return std::nullopt;
+      }
+    }
+    return std::nullopt;
+  };
+
+  // Classic ddmin over subsequences.  Each retained entry keeps its
+  // original step index (= its randomness), so dropping neighbours never
+  // perturbs it; when a candidate fails before its last entry we truncate
+  // there — a free extra shrink.
+  std::vector<ScheduleEntry> best = std::move(schedule);
+  std::size_t granularity = 2;
+  while (best.size() >= 2 && executions < opts.minimize_budget) {
+    const std::size_t chunk = (best.size() + granularity - 1) / granularity;
+    bool reduced = false;
+    for (std::size_t start = 0;
+         start < best.size() && executions < opts.minimize_budget;
+         start += chunk) {
+      std::vector<ScheduleEntry> cand;
+      cand.reserve(best.size());
+      for (std::size_t i = 0; i < best.size(); ++i) {
+        if (i < start || i >= start + chunk) cand.push_back(best[i]);
+      }
+      if (cand.empty()) continue;
+      if (const auto idx = run_candidate(cand)) {
+        cand.resize(*idx + 1);
+        best = std::move(cand);
+        granularity = std::max<std::size_t>(2, granularity - 1);
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (granularity >= best.size()) break;
+      granularity = std::min(best.size(), granularity * 2);
+    }
+  }
+  return best;
+}
+
+// ---- Multi-threaded driver ----------------------------------------------
+
+StressReport run_stress(const StressFsm& fsm, const StressOptions& opts) {
+  const std::string problem = fsm.validate();
+  if (!problem.empty()) {
+    throw std::invalid_argument("stress fsm '" + fsm.name + "': " + problem);
+  }
+  StressOptions o = opts;
+  if (o.num_threads == 0) o.num_threads = 1;
+  if (o.steps_per_thread == 0) o.steps_per_thread = 1;
+
+  StressReport report;
+  report.workload = fsm.name;
+  report.seed = o.seed;
+  report.threads = o.num_threads;
+  report.steps_per_thread = o.steps_per_thread;
+  report.state_names.reserve(fsm.states.size());
+  for (const StressState& s : fsm.states) report.state_names.push_back(s.name);
+  report.state_runs.assign(fsm.states.size(), 0);
+
+  struct RawFailure {
+    unsigned thread = 0;
+    std::size_t step = 0;
+    std::string state;
+    std::string message;
+  };
+  std::mutex mu;
+  std::vector<RawFailure> raw;
+  std::atomic<bool> stop{false};
+
+  std::vector<std::uint64_t> thread_digests(o.num_threads, 0);
+  std::vector<std::vector<std::uint64_t>> thread_runs(
+      o.num_threads, std::vector<std::uint64_t>(fsm.states.size(), 0));
+
+  const bool use_wall = o.wall_budget_seconds > 0.0;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(
+              use_wall ? o.wall_budget_seconds : 0.0));
+  const auto t0 = std::chrono::steady_clock::now();
+
+  auto walk_thread = [&](unsigned t) {
+    StressContext ctx(o, o.seed, t);
+    const std::vector<ScheduleEntry> walk =
+        make_walk(fsm, o.seed, t, o.steps_per_thread);
+    for (const ScheduleEntry& entry : walk) {
+      if (stop.load(std::memory_order_relaxed)) break;
+      if (use_wall && std::chrono::steady_clock::now() >= deadline) break;
+      ++thread_runs[t][entry.state];
+      StressFailure fail;
+      if (!execute_entry(fsm, ctx, entry, &fail)) {
+        {
+          const std::lock_guard<std::mutex> lock(mu);
+          if (raw.size() < o.max_failures) {
+            raw.push_back({t, entry.step, std::move(fail.state),
+                           std::move(fail.message)});
+          }
+        }
+        if (o.stop_on_failure) stop.store(true, std::memory_order_relaxed);
+        // This thread always stops: its context (manager, pool) may be
+        // poisoned by whatever just went wrong.
+        break;
+      }
+    }
+    thread_digests[t] = ctx.digest();
+  };
+
+  if (o.num_threads == 1) {
+    walk_thread(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(o.num_threads);
+    for (unsigned t = 0; t < o.num_threads; ++t) {
+      threads.emplace_back(walk_thread, t);
+    }
+    for (std::thread& th : threads) th.join();
+  }
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  // Commutative digest fold: the per-thread digests are deterministic, the
+  // fold ignores completion order.
+  std::uint64_t digest = 1469598103934665603ull;
+  for (const char c : fsm.name) {
+    digest ^= static_cast<unsigned char>(c);
+    digest *= 1099511628211ull;
+  }
+  for (unsigned t = 0; t < o.num_threads; ++t) {
+    StepRng scramble(thread_digests[t] ^
+                     derive_seed(o.seed, t, 0, /*salt=*/0xd15e57));
+    digest += scramble.next();
+    for (std::size_t s = 0; s < fsm.states.size(); ++s) {
+      report.state_runs[s] += thread_runs[t][s];
+      report.total_steps += thread_runs[t][s];
+    }
+  }
+  report.digest = digest;
+
+  // Confirm + minimize each recorded failure single-threaded.
+  std::sort(raw.begin(), raw.end(), [](const RawFailure& a, const RawFailure& b) {
+    return a.thread != b.thread ? a.thread < b.thread : a.step < b.step;
+  });
+  for (RawFailure& rf : raw) {
+    StressFailure f;
+    f.at = {o.seed, rf.thread, rf.step};
+    f.state = rf.state;
+    f.message = rf.message;
+    f.replay_command = replay_command_for(fsm, o, rf.thread, rf.step);
+    std::optional<StressFailure> rep = replay(fsm, o, rf.thread, rf.step);
+    if (rep.has_value() && rep->state == rf.state) {
+      f.replayed = true;
+      f.message = std::move(rep->message);  // the deterministic diagnostic
+      f.entries = std::move(rep->entries);
+      if (o.minimize_failures) {
+        f.entries = minimize_schedule(fsm, o, rf.thread, std::move(f.entries),
+                                      f.state);
+      }
+      f.schedule.clear();
+      f.schedule.reserve(f.entries.size());
+      for (const ScheduleEntry& e : f.entries) {
+        f.schedule.push_back(fsm.states[e.state].name);
+      }
+    }
+    report.failures.push_back(std::move(f));
+  }
+  return report;
+}
+
+// ---- Summaries ----------------------------------------------------------
+
+std::string StressFailure::summary() const {
+  std::string out = "FAIL [seed=" + std::to_string(at.seed) +
+                    " thread=" + std::to_string(at.thread) +
+                    " step=" + std::to_string(at.step) + "] state '" + state +
+                    "': " + message;
+  out += "\n  replay: " + replay_command;
+  if (!schedule.empty()) {
+    out += "\n  schedule (" + std::to_string(schedule.size()) +
+           " steps, single-threaded): ";
+    constexpr std::size_t kShown = 24;
+    for (std::size_t i = 0; i < schedule.size() && i < kShown; ++i) {
+      if (i != 0) out += " -> ";
+      out += schedule[i];
+    }
+    if (schedule.size() > kShown) {
+      out += " -> ... (" + std::to_string(schedule.size() - kShown) + " more)";
+    }
+  } else if (!replayed) {
+    out += "\n  single-threaded replay did NOT reproduce this failure: it "
+           "depends on a cross-thread interleaving (run under TSan)";
+  }
+  return out;
+}
+
+std::string StressReport::summary() const {
+  std::string out = "stress '" + workload + "': " + std::to_string(threads) +
+                    " thread(s) x " + std::to_string(steps_per_thread) +
+                    " steps, " + std::to_string(total_steps) +
+                    " executed, digest " + hex64(digest);
+  out += "\n  states:";
+  for (std::size_t i = 0; i < state_names.size(); ++i) {
+    out += " " + state_names[i] + "=" + std::to_string(state_runs[i]);
+  }
+  if (ok()) {
+    out += "\n  OK";
+  } else {
+    for (const StressFailure& f : failures) out += "\n" + f.summary();
+  }
+  return out;
+}
+
+}  // namespace bddmin::stress

@@ -272,6 +272,108 @@ TEST(GovernorEngine, TinyQuotaBatchNeverReportsErrors) {
   EXPECT_EQ(report.count(engine::JobStatus::kError), 0u);
 }
 
+TEST(Governor, ReorderUnderHardNodeQuotaKeepsTableConsistent) {
+  // Regression for the stress-harness find (workload "governor", seed 1,
+  // thread 0, step 4, state reorder-under-quota): NodeLimit used to fire
+  // from unique_insert inside swap_adjacent_levels *after* the order maps
+  // had flipped, tearing the table ("hi child at or above parent level"
+  // audit findings).  Quotas are now suspended for the duration of a swap
+  // (NodeQuotaSuspension) and re-enforced between swaps, so sifting under
+  // a quota either finishes or aborts at a consistent boundary.
+  Manager mgr(6, 10);
+  const std::uint64_t tt_f = 0x6996'9669'9669'6996ull;  // parity: all vars
+  const std::uint64_t tt_g = 0x5b93'c2a7'0f1e'6d48ull;  // interact
+  const Bdd f(mgr, from_tt(mgr, tt_f, 6));
+  const Bdd g(mgr, from_tt(mgr, tt_g, 6));
+
+  ResourceLimits lim;
+  lim.hard_node_limit = mgr.allocated_nodes() + 1;  // trips on first growth
+  mgr.governor().set_limits(lim);
+  try {
+    (void)mgr.reorder_sift();
+  } catch (const NodeLimit&) {
+    // Aborting between swaps is fine; tearing the table is what this
+    // test forbids.
+  }
+  mgr.governor().clear();
+
+  analysis::AuditOptions aopts;
+  aopts.level = analysis::AuditLevel::kRefcount;
+  const analysis::AuditReport report = analysis::audit_manager(mgr, aopts);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_EQ(to_tt(mgr, f.edge(), 6), tt_f);
+  EXPECT_EQ(to_tt(mgr, g.edge(), 6), tt_g);
+}
+
+/// Every registered minimizer: the paper's twelve from all_heuristics()
+/// plus the scheduler, the mixed-criterion matcher and a Proposition 6
+/// fallback wrapper — the same 15 the batch engine dispatches by name.
+std::vector<minimize::Heuristic> registered_heuristics() {
+  std::vector<minimize::Heuristic> set = minimize::all_heuristics();
+  set.push_back(minimize::scheduler_heuristic());
+  set.push_back(minimize::mixed_heuristic());
+  set.push_back(
+      minimize::with_fallback(minimize::heuristic_by_name(set, "tsm_td")));
+  return set;
+}
+
+TEST(Governor, AbortResetReuseCycleUnderEveryRegisteredHeuristic) {
+  // One pooled manager is driven through the full governed lifecycle by
+  // every registered heuristic in turn: trip a one-step budget
+  // mid-minimization, verify the survivor is audit-clean, Manager::reset()
+  // it (the engine's pooling path), rerun unlimited in the recycled
+  // manager, and demand the exact result a fresh manager computes.
+  constexpr unsigned kVars = 6;
+  constexpr std::uint64_t kF = 0x5b93'c2a7'0f1e'6d48ull;
+  constexpr std::uint64_t kC = 0x0ff0'0f0f'33cc'55aaull;
+  const std::uint64_t care_mask = tt_mask(kVars);
+
+  Manager pooled(kVars, 10);
+  std::size_t tripped = 0;
+  for (const minimize::Heuristic& h : registered_heuristics()) {
+    {
+      const Bdd f(pooled, from_tt(pooled, kF, kVars));
+      const Bdd c(pooled, from_tt(pooled, kC, kVars));
+      ResourceLimits lim;
+      lim.step_limit = 1;  // trivial heuristics may fit; real ones trip
+      pooled.governor().set_limits(lim);
+      try {
+        (void)h.run(pooled, f.edge(), c.edge());
+      } catch (const ResourceExhausted&) {
+        ++tripped;
+      }
+      pooled.governor().clear();
+
+      analysis::AuditOptions aopts;
+      aopts.level = analysis::AuditLevel::kRefcount;
+      const analysis::AuditReport post = analysis::audit_manager(pooled, aopts);
+      EXPECT_TRUE(post.ok()) << h.name << " after abort: " << post.summary();
+    }  // pins die before the reset below
+
+    pooled.reset(kVars);
+    std::uint64_t got = 0;
+    {
+      const Bdd f2(pooled, from_tt(pooled, kF, kVars));
+      const Bdd c2(pooled, from_tt(pooled, kC, kVars));
+      got = to_tt(pooled, h.run(pooled, f2.edge(), c2.edge()), kVars);
+    }  // pins must not outlive the reset that opens the next cycle
+
+    Manager fresh(kVars, 10);
+    const Bdd f3(fresh, from_tt(fresh, kF, kVars));
+    const Bdd c3(fresh, from_tt(fresh, kC, kVars));
+    const std::uint64_t want =
+        to_tt(fresh, h.run(fresh, f3.edge(), c3.edge()), kVars);
+
+    EXPECT_EQ(got, want) << h.name << ": recycled manager diverged";
+    EXPECT_EQ((got ^ kF) & kC & care_mask, 0u)
+        << h.name << ": result disagrees with f on the care set";
+    pooled.reset(kVars);  // next heuristic starts from the pooled state
+  }
+  // The budget must have real teeth: the overwhelming majority of the 15
+  // perform work and trip a one-step budget on this instance.
+  EXPECT_GE(tripped, 10u);
+}
+
 TEST(GovernorEngine, EnvVariablesSupplyDefaultLimits) {
   Manager src(6, 12);
   const minimize::IncSpec spec = workload::random_instance(src, 6, 0.4, 7u);

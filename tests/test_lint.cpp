@@ -79,7 +79,7 @@ std::vector<ParsedFinding> parse_findings(const std::string& output) {
     if (endp == line.c_str() + c1 + 1 || *endp != ':') continue;
     const std::size_t rs = line.find(" R", endp - line.c_str());
     if (rs == std::string::npos || rs + 2 >= line.size() ||
-        line[rs + 2] < '1' || line[rs + 2] > '5') {
+        line[rs + 2] < '1' || line[rs + 2] > '6') {
       continue;
     }
     found.push_back(ParsedFinding{line.substr(0, c1),
@@ -96,6 +96,8 @@ const std::vector<ParsedFinding> kSeeded = {
     {"tests/lint_fixtures/scopes.cpp", 42, "R5"},
     {"tests/lint_fixtures/scopes.cpp", 44, "R5"},
     {"tests/lint_fixtures/src/bdd/ops.cpp", 28, "R1"},
+    {"tests/lint_fixtures/src/stress/hooks.cpp", 14, "R6"},
+    {"tests/lint_fixtures/src/stress/hooks.cpp", 20, "R6"},
     {"tests/lint_fixtures/suppressed.cpp", 16, "R3"},
     {"tests/lint_fixtures/tags.cpp", 16, "R2"},
     {"tests/lint_fixtures/tags.cpp", 21, "R2"},
@@ -147,6 +149,22 @@ TEST_F(LintTest, RuleSubsetSelection) {
   EXPECT_EQ(found[0].line, 42);
   EXPECT_EQ(found[1].line, 44);
   EXPECT_EQ(found[0].rule, "R5");
+}
+
+TEST_F(LintTest, R6ScopedToStressHarnessPaths) {
+  // The same held-lock-across-join shape outside src/stress/ is not R6's
+  // business: scopes.cpp lives at the fixture root and must stay R6-clean.
+  const RunResult r = run_lint(std::string("--rules R6 \"") +
+                               BDDMIN_REPO_ROOT + "/tests/lint_fixtures\"");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  const std::vector<ParsedFinding> found = parse_findings(r.output);
+  ASSERT_EQ(found.size(), 2u) << r.output;
+  for (const ParsedFinding& f : found) {
+    EXPECT_EQ(f.rule, "R6");
+    EXPECT_NE(f.path.find("src/stress/"), std::string::npos) << f.path;
+  }
+  EXPECT_EQ(found[0].line, 14);
+  EXPECT_EQ(found[1].line, 20);
 }
 
 TEST_F(LintTest, RealTreeLintsClean) {
