@@ -1,16 +1,14 @@
 #include "analysis/audit.hpp"
 
-#include <cstdlib>
+#include "harness/env.hpp"
 
 namespace bddmin::analysis {
 
 AuditLevel audit_level_from_env() {
-  const char* raw = std::getenv("BDDMIN_AUDIT_LEVEL");
-  if (raw == nullptr || *raw == '\0') return AuditLevel::kOff;
-  char* end = nullptr;
-  const long value = std::strtol(raw, &end, 10);
-  if (end == raw) return AuditLevel::kOff;
-  if (value <= 0) return AuditLevel::kOff;
+  // Malformed values are a hard error (harness::EnvError): a fleet run
+  // with a typo'd audit level must not silently audit nothing.
+  const std::uint64_t value = harness::env_u64("BDDMIN_AUDIT_LEVEL", 0);
+  if (value == 0) return AuditLevel::kOff;
   if (value >= 4) return AuditLevel::kCover;
   return static_cast<AuditLevel>(value);
 }

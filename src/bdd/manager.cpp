@@ -7,6 +7,7 @@
 #include "analysis/access.hpp"
 #include "analysis/audit.hpp"
 #include "analysis/check.hpp"
+#include "analysis/failpoint.hpp"
 #include "bdd/ops.hpp"
 
 namespace bddmin {
@@ -187,7 +188,13 @@ std::uint32_t Manager::unique_insert(std::uint32_t var, Edge hi, Edge lo) {
     }
   }
   // Quotas are enforced before a slot is claimed, so looking up an existing
-  // node never throws and an abort leaves the table untouched.
+  // node never throws and an abort leaves the table untouched.  The same
+  // safe point hosts the injected allocation failure — suppressed inside
+  // reorder critical sections, where a throw would tear the table.
+  if (!governor_.in_critical_section() &&
+      BDDMIN_FAILPOINT("unique_insert_oom")) {
+    throw OutOfMemory("failpoint: node table", sizeof(Node));
+  }
   if (governor_.node_limited()) {
     governor_.check_nodes(live_count_ + dead_count_);
   }
@@ -244,6 +251,12 @@ void Manager::subtable_link(std::uint32_t index) {
 }
 
 void Manager::grow_buckets(SubTable& table) {
+  // Injected before the reallocation: like a real bad_alloc here, the
+  // triggering node is already linked and the table stays consistent.
+  if (!governor_.in_critical_section() && BDDMIN_FAILPOINT("bucket_grow_oom")) {
+    throw OutOfMemory("failpoint: subtable buckets",
+                      2 * table.buckets.size() * sizeof(std::uint32_t));
+  }
   std::vector<std::uint32_t> fresh;
   try {
     fresh.assign(table.buckets.size() * 2, kNilIndex);
@@ -287,6 +300,12 @@ void Manager::deref(Edge e) noexcept {
 }
 
 std::size_t Manager::garbage_collect() {
+  // Injected before any mutation: the work-list allocation is the only
+  // thing that can fail in a real GC, and it fails before the sweep.
+  if (BDDMIN_FAILPOINT("gc_oom")) {
+    throw OutOfMemory("failpoint: gc work list",
+                      nodes_.size() * sizeof(std::uint32_t));
+  }
   ++gc_runs_;
   counters_.bump(telemetry::Counter::kGcRuns);
   std::vector<std::uint32_t> work;
@@ -414,6 +433,13 @@ void Manager::maybe_grow_cache() noexcept {
 }
 
 void Manager::grow_cache() noexcept {
+  // Injected growth failure takes the real bad_alloc branch: growth is
+  // quietly disabled and the current cache keeps working.  This function
+  // is noexcept, so the failpoint must not throw here.
+  if (BDDMIN_FAILPOINT("cache_grow_oom")) {
+    cache_growth_enabled_ = false;
+    return;
+  }
   std::vector<CacheSet> fresh;
   try {
     fresh.resize(std::size_t{1} << cache_log2_);  // double the set count
@@ -633,6 +659,11 @@ bool Manager::disjoint_rec(Edge f, Edge g) {
 
 std::ptrdiff_t Manager::swap_adjacent_levels(std::uint32_t level) {
   BDDMIN_CHECK(level + 1 < num_vars_);
+  // Injected before any mutation: an abort *between* swaps, exactly where
+  // the up-front reserve below would also throw.
+  if (BDDMIN_FAILPOINT("reorder_swap_oom")) {
+    throw OutOfMemory("failpoint: reorder swap", 0);
+  }
   counters_.bump(telemetry::Counter::kSiftSwaps);
   const std::uint32_t x = level_to_var_[level];
   const std::uint32_t y = level_to_var_[level + 1];

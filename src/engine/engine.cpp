@@ -1,6 +1,7 @@
 #include "engine/engine.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -11,11 +12,14 @@
 #include <utility>
 
 #include "analysis/cover_audit.hpp"
+#include "analysis/failpoint.hpp"
 #include "analysis/thread_annotations.hpp"
 #include "bdd/bdd.hpp"
 #include "bdd/ops.hpp"
+#include "engine/journal.hpp"
 #include "engine/queue.hpp"
 #include "harness/csv.hpp"
+#include "harness/env.hpp"
 #include "minimize/lower_bound.hpp"
 #include "telemetry/trace.hpp"
 
@@ -23,6 +27,52 @@ namespace bddmin::engine {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now().time_since_epoch())
+          .count());
+}
+
+/// Per-worker slot shared with the watchdog thread.  The worker publishes
+/// a unique epoch per (job, attempt) — start_ns is stored first, then the
+/// epoch with release, so the watchdog (acquire) never pairs a fresh
+/// epoch with a stale start time.  To cancel, the watchdog copies the
+/// observed epoch into abort_epoch; the governor polls it via
+/// attach_abort_signal.  Epoch-tagging makes a stale cancellation aimed
+/// at a finished attempt a no-op for its successor.
+struct alignas(64) WorkerStatus {
+  std::atomic<std::uint64_t> epoch{0};  ///< 0 = idle
+  std::atomic<std::uint64_t> start_ns{0};
+  std::atomic<std::uint64_t> abort_epoch{0};
+  std::uint64_t next_epoch = 0;  ///< worker-private attempt counter
+};
+
+/// Cancellation handle for one (job, attempt), threaded through
+/// process_job so cooperative points outside the governor's step polling
+/// (between heuristics, inside injected hangs) can observe the watchdog.
+struct JobControl {
+  const std::atomic<std::uint64_t>* abort_signal = nullptr;
+  std::uint64_t epoch = 0;
+
+  [[nodiscard]] bool aborted() const noexcept {
+    return abort_signal != nullptr &&
+           abort_signal->load(std::memory_order_relaxed) == epoch;
+  }
+};
+
+/// Abort-aware sleep for the injected hang sites: stalls for \p ms but
+/// stays cancellable, throwing AbortRequested when the watchdog fires.
+void hang_sleep(std::uint64_t ms, const JobControl& control) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(ms);
+  while (Clock::now() < deadline) {
+    if (control.aborted()) {
+      throw AbortRequested("watchdog (injected hang)");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
 
 /// Submission-order result sink.  Each slot is written exactly once, but
 /// the mutex also guards the delivered counter and makes the sink safe to
@@ -51,6 +101,8 @@ struct WorkerContext {
   const std::vector<minimize::Heuristic>* heuristics;
   const minimize::Heuristic* fallback;  ///< nullptr = no budget retry
   unsigned worker;
+  WorkerStatus* status = nullptr;   ///< watchdog slot; nullptr = no watchdog
+  JournalWriter* journal = nullptr; ///< completion records; nullptr = off
 };
 
 [[nodiscard]] bool cancelled(const EngineOptions& opts) {
@@ -108,7 +160,8 @@ Manager& acquire_manager(std::unique_ptr<Manager>& pool, unsigned num_vars,
 }
 
 JobOutcome process_job(const Job& job, const WorkerContext& ctx,
-                       std::unique_ptr<Manager>& pool) {
+                       std::unique_ptr<Manager>& pool,
+                       const JobControl& control) {
   const EngineOptions& opts = *ctx.opts;
   const std::vector<minimize::Heuristic>& heuristics = *ctx.heuristics;
   const auto job_start = Clock::now();
@@ -125,9 +178,19 @@ JobOutcome process_job(const Job& job, const WorkerContext& ctx,
 
   Manager& mgr =
       acquire_manager(pool, std::max(job.num_vars, 1u), opts.cache_log2);
+  // Wire this (job, attempt) to the watchdog: the governor polls the
+  // signal on its deadline cadence, so even a single runaway recursion is
+  // cancellable.  acquire_manager's reset detached any previous signal.
+  if (control.abort_signal != nullptr) {
+    mgr.governor().attach_abort_signal(control.abort_signal, control.epoch);
+  }
   minimize::IncSpec spec;
   try {
     spec = decode_job(mgr, job);
+  } catch (const AbortRequested& e) {
+    outcome.status = JobStatus::kQuarantined;
+    outcome.detail = std::string("decode: ") + e.what();
+    return outcome;
   } catch (const std::exception& e) {
     outcome.status = JobStatus::kError;
     outcome.error = std::string("decode: ") + e.what();
@@ -156,6 +219,14 @@ JobOutcome process_job(const Job& job, const WorkerContext& ctx,
       if (outcome.status == JobStatus::kOk) outcome.status = JobStatus::kTimeout;
       break;
     }
+    if (control.aborted()) {
+      // The watchdog fired while we were between heuristics (where no
+      // governor poll runs).  Same verdict as an in-flight cancellation.
+      outcome.status = JobStatus::kQuarantined;
+      if (!outcome.detail.empty()) outcome.detail += "; ";
+      outcome.detail += "cancelled by watchdog between heuristics";
+      break;
+    }
     if (opts.flush_between || mgr.governor().soft_exceeded()) {
       mgr.garbage_collect();
     }
@@ -178,6 +249,14 @@ JobOutcome process_job(const Job& job, const WorkerContext& ctx,
         g = run_budgeted(mgr, heuristics[h], heuristic_budget(opts, job_start),
                          spec.f, spec.c);
       } catch (const ResourceExhausted& e) {
+        if (e.limit_class() == LimitClass::kCancelled) {
+          // Watchdog cancellation is not a budget trip: no degradation,
+          // the attempt is over.  The worker retries or quarantines.
+          outcome.status = JobStatus::kQuarantined;
+          if (!outcome.detail.empty()) outcome.detail += "; ";
+          outcome.detail += heuristics[h].name + ": " + e.what();
+          break;
+        }
         // Graceful degradation: keep the job alive on the best cover so far.
         outcome.status = JobStatus::kResourceLimit;
         if (!outcome.detail.empty()) outcome.detail += "; ";
@@ -190,6 +269,11 @@ JobOutcome process_job(const Job& job, const WorkerContext& ctx,
                              heuristic_budget(opts, job_start), spec.f, spec.c);
             outcome.detail += " (retried on " + ctx.fallback->name + ")";
           } catch (const ResourceExhausted& e2) {
+            if (e2.limit_class() == LimitClass::kCancelled) {
+              outcome.status = JobStatus::kQuarantined;
+              outcome.detail += "; " + ctx.fallback->name + ": " + e2.what();
+              break;
+            }
             outcome.detail += " (retry on " + ctx.fallback->name + ": " +
                               limit_class_name(e2.limit_class()) + ")";
             g = best;
@@ -266,32 +350,134 @@ JobOutcome process_job(const Job& job, const WorkerContext& ctx,
   return outcome;
 }
 
+/// Transient-failure classification for the retry loop.  Returns the
+/// retry_reason label, or "" for outcomes that must not be retried.
+/// kError always retries (real transients — a torn pooled manager, an
+/// injected corruption — land here; deterministic errors just fail
+/// identically `max_retries` more times, keeping attempts deterministic).
+/// kResourceLimit retries only for classes that are genuinely transient:
+/// an out-of-memory degrade, or a deadline when no job timeout is
+/// configured (then the deadline cannot be the caller's own budget).
+/// Node/step-limit degrades are deterministic and final.
+[[nodiscard]] std::string retry_class(const JobOutcome& outcome,
+                                      const EngineOptions& opts) {
+  switch (outcome.status) {
+    case JobStatus::kError:
+      return "error";
+    case JobStatus::kQuarantined:
+      return "hung";
+    case JobStatus::kResourceLimit:
+      if (outcome.detail.find("out-of-memory") != std::string::npos) {
+        return "out-of-memory";
+      }
+      if (opts.job_timeout_seconds == 0.0 &&
+          outcome.detail.find("deadline") != std::string::npos) {
+        return "deadline";
+      }
+      return "";
+    default:
+      return "";
+  }
+}
+
+/// Exponential backoff before retry \p attempt of job \p index:
+/// `backoff_ms * 2^(attempt-1)` capped at 10 s, plus a deterministic
+/// jitter in [0, backoff_ms) hashed from (index, attempt) — workers
+/// retrying the same transient cause (e.g. memory pressure) decorrelate
+/// without introducing nondeterminism.
+void backoff_sleep(const EngineOptions& opts, std::size_t index,
+                   unsigned attempt) {
+  if (opts.backoff_ms == 0) return;
+  const unsigned shift = std::min(attempt - 1, 16u);
+  std::uint64_t delay_ms =
+      std::min<std::uint64_t>(std::uint64_t{opts.backoff_ms} << shift, 10'000);
+  std::uint64_t h = (static_cast<std::uint64_t>(index) << 32) ^ attempt;
+  h += 0x9e3779b97f4a7c15ull;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+  delay_ms += (h ^ (h >> 31)) % opts.backoff_ms;
+  std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+}
+
 void worker_loop(WorkStealingQueue& queue, std::span<const Job> jobs,
                  ResultSink& sink, const WorkerContext& ctx) {
   // One pooled Manager per worker, reused across jobs via reset().
   std::unique_ptr<Manager> pool;
   std::size_t index = 0;
   while (queue.try_pop(ctx.worker, &index)) {
-    JobOutcome outcome;
     const telemetry::TraceScope span(std::string("job:") + jobs[index].name,
                                      "engine");
-    try {
-      outcome = process_job(jobs[index], ctx, pool);
-    } catch (const std::exception& e) {
-      // Containment: a throw outside the budgeted sections (e.g. the
-      // manager constructor running out of memory) fails the one job, not
-      // the batch.  The results vector is sized so the CSV keeps its shape.
-      outcome.name = jobs[index].name;
-      outcome.num_vars = jobs[index].num_vars;
-      outcome.worker = ctx.worker;
-      outcome.status = JobStatus::kError;
-      outcome.error = e.what();
-      outcome.results.resize(ctx.heuristics->size());
-      // An uncontained throw may have left the pooled manager mid-mutation;
-      // drop it rather than reuse a possibly inconsistent instance.
-      pool.reset();
+    unsigned attempt = 1;
+    std::string first_retry_reason;
+    for (;;) {
+      JobOutcome outcome;
+      JobControl control;
+      if (ctx.status != nullptr) {
+        // Publish this (job, attempt) to the watchdog: start time first,
+        // then the epoch with release (see WorkerStatus).
+        const std::uint64_t epoch = ++ctx.status->next_epoch;
+        ctx.status->start_ns.store(now_ns(), std::memory_order_relaxed);
+        ctx.status->epoch.store(epoch, std::memory_order_release);
+        control.abort_signal = &ctx.status->abort_epoch;
+        control.epoch = epoch;
+      }
+      try {
+        if (const auto hit = BDDMIN_FAILPOINT("worker_loop_hang")) {
+          hang_sleep(hit.value, control);
+        }
+        outcome = process_job(jobs[index], ctx, pool, control);
+      } catch (const AbortRequested& e) {
+        // A cancellation that unwound past process_job (decode outside
+        // its catch, validation, an injected hang).  The manager honours
+        // the strong guarantee, but be conservative with the pool.
+        outcome.name = jobs[index].name;
+        outcome.num_vars = jobs[index].num_vars;
+        outcome.worker = ctx.worker;
+        outcome.status = JobStatus::kQuarantined;
+        outcome.detail = e.what();
+        outcome.results.resize(ctx.heuristics->size());
+        pool.reset();
+      } catch (const std::exception& e) {
+        // Containment: a throw outside the budgeted sections (e.g. the
+        // manager constructor running out of memory) fails the one job, not
+        // the batch.  The results vector is sized so the CSV keeps its shape.
+        outcome.name = jobs[index].name;
+        outcome.num_vars = jobs[index].num_vars;
+        outcome.worker = ctx.worker;
+        outcome.status = JobStatus::kError;
+        outcome.error = e.what();
+        outcome.results.resize(ctx.heuristics->size());
+        // An uncontained throw may have left the pooled manager mid-mutation;
+        // drop it rather than reuse a possibly inconsistent instance.
+        pool.reset();
+      }
+      if (ctx.status != nullptr) {
+        ctx.status->epoch.store(0, std::memory_order_release);  // idle
+      }
+
+      const std::string reason = retry_class(outcome, *ctx.opts);
+      if (!reason.empty() && attempt <= ctx.opts->max_retries) {
+        if (first_retry_reason.empty()) first_retry_reason = reason;
+        backoff_sleep(*ctx.opts, index, attempt);
+        ++attempt;
+        continue;  // fresh attempt, fresh JobOutcome
+      }
+
+      outcome.attempts = attempt;
+      outcome.retry_reason = first_retry_reason;
+      if (const auto hit = BDDMIN_FAILPOINT("sink_drain_hang")) {
+        // Bounded stall in the delivery path (lock *not* held).
+        std::this_thread::sleep_for(std::chrono::milliseconds(hit.value));
+      }
+      // Journal before the sink: once an outcome is observable it is
+      // also durable.  Cancelled jobs are deliberately not journalled —
+      // a resume after a cancellation re-runs them.
+      if (ctx.journal != nullptr && outcome.status != JobStatus::kCancelled) {
+        ctx.journal->append_completed(index, outcome);
+      }
+      sink.deliver(index, std::move(outcome));
+      break;
     }
-    sink.deliver(index, std::move(outcome));
   }
 }
 
@@ -322,6 +508,7 @@ const char* job_status_name(JobStatus s) noexcept {
     case JobStatus::kCancelled: return "cancelled";
     case JobStatus::kError: return "error";
     case JobStatus::kResourceLimit: return "resource-limit";
+    case JobStatus::kQuarantined: return "quarantined";
   }
   return "?";
 }
@@ -335,19 +522,18 @@ std::size_t BatchReport::count(JobStatus s) const noexcept {
 }
 
 BatchReport run_batch(std::span<const Job> jobs, const EngineOptions& opts) {
+  // BDDMIN_FAILPOINTS arms *here* — after job generation and CLI parsing,
+  // before any worker starts — so only the batch itself is faulted and a
+  // fault-injected run minimizes exactly the same job set as a clean one.
+  analysis::failpoints().arm_from_env();
+
   EngineOptions effective = opts;
   if (effective.node_limit == 0) {
-    // NOLINTNEXTLINE(concurrency-mt-unsafe): read once before workers start.
-    if (const char* env = std::getenv("BDDMIN_NODE_LIMIT")) {
-      effective.node_limit =
-          static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
-    }
+    effective.node_limit =
+        static_cast<std::size_t>(harness::env_u64("BDDMIN_NODE_LIMIT", 0));
   }
   if (effective.step_limit == 0) {
-    // NOLINTNEXTLINE(concurrency-mt-unsafe): read once before workers start.
-    if (const char* env = std::getenv("BDDMIN_STEP_LIMIT")) {
-      effective.step_limit = std::strtoull(env, nullptr, 10);
-    }
+    effective.step_limit = harness::env_u64("BDDMIN_STEP_LIMIT", 0);
   }
 
   std::vector<minimize::Heuristic> heuristics = effective.heuristics;
@@ -383,9 +569,19 @@ BatchReport run_batch(std::span<const Job> jobs, const EngineOptions& opts) {
   for (const minimize::Heuristic& h : heuristics) report.names.push_back(h.name);
 
   const auto start = Clock::now();
+  // A resumed job is one whose outcome the journal already holds; it is
+  // pre-filled into the sink and never queued.
+  const JournalContents* resume = effective.resume;
+  const auto resumed_done = [resume](std::size_t i) {
+    return resume != nullptr && i < resume->completed.size() &&
+           resume->completed[i].has_value();
+  };
+
   // Payload dedup: queue one representative per distinct payload; the
   // duplicate slots are filled from the representative's outcome after the
-  // pool drains.  rep[i] == i marks a representative.
+  // pool drains.  rep[i] == i marks a representative.  A resumed-done
+  // representative still anchors its duplicates — its outcome comes from
+  // the journal instead of a worker.
   std::vector<std::size_t> rep(jobs.size());
   std::vector<std::size_t> to_run;
   to_run.reserve(jobs.size());
@@ -394,21 +590,77 @@ BatchReport run_batch(std::span<const Job> jobs, const EngineOptions& opts) {
     for (std::size_t i = 0; i < jobs.size(); ++i) {
       const auto [it, inserted] = first_by_key.emplace(payload_key(jobs[i]), i);
       rep[i] = it->second;
-      if (inserted) to_run.push_back(i);
+      if (inserted && !resumed_done(i)) to_run.push_back(i);
     }
   } else {
     for (std::size_t i = 0; i < jobs.size(); ++i) {
       rep[i] = i;
-      to_run.push_back(i);
+      if (!resumed_done(i)) to_run.push_back(i);
     }
   }
-  report.duplicate_jobs = jobs.size() - to_run.size();
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    report.duplicate_jobs += rep[i] != i ? 1 : 0;
+  }
+
+  // Write-ahead journal: a fresh run records the whole batch before any
+  // work starts; a resume appends to the survivor.
+  std::unique_ptr<JournalWriter> journal;
+  if (!effective.journal_path.empty()) {
+    journal = std::make_unique<JournalWriter>(effective.journal_path,
+                                              /*truncate=*/resume == nullptr);
+    if (resume == nullptr) {
+      for (std::size_t i = 0; i < jobs.size(); ++i) {
+        journal->append_submitted(i, jobs[i]);
+      }
+    }
+  }
 
   WorkStealingQueue queue(threads);
   for (std::size_t k = 0; k < to_run.size(); ++k) {
     queue.push(k % threads, to_run[k]);
   }
   ResultSink sink(jobs.size());
+  if (resume != nullptr) {
+    const std::size_t n = std::min(jobs.size(), resume->completed.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (resume->completed[i].has_value()) {
+        sink.deliver(i, *resume->completed[i]);
+      }
+    }
+  }
+
+  std::vector<WorkerStatus> wstatus(threads);
+  std::atomic<bool> watchdog_stop{false};
+  std::thread watchdog;
+  if (effective.hang_timeout_seconds > 0.0) {
+    const auto hang_ns =
+        static_cast<std::uint64_t>(effective.hang_timeout_seconds * 1e9);
+    // Poll a few times per threshold, capped at 10 ms so short test
+    // thresholds are detected promptly without a busy loop.
+    const auto poll = std::chrono::milliseconds(std::clamp<std::int64_t>(
+        static_cast<std::int64_t>(effective.hang_timeout_seconds * 250.0), 1,
+        10));
+    watchdog = std::thread([&wstatus, &watchdog_stop, hang_ns, poll] {
+      telemetry::Tracer::set_thread_name("watchdog");
+      while (!watchdog_stop.load(std::memory_order_relaxed)) {
+        for (WorkerStatus& s : wstatus) {
+          // Acquire pairs with the worker's release store: a non-zero
+          // epoch guarantees start_ns is the matching attempt's.
+          const std::uint64_t e = s.epoch.load(std::memory_order_acquire);
+          if (e == 0) continue;  // idle
+          if (s.abort_epoch.load(std::memory_order_relaxed) == e) {
+            continue;  // already cancelled; the worker will notice
+          }
+          const std::uint64_t started =
+              s.start_ns.load(std::memory_order_relaxed);
+          if (now_ns() - started > hang_ns) {
+            s.abort_epoch.store(e, std::memory_order_relaxed);
+          }
+        }
+        std::this_thread::sleep_for(poll);
+      }
+    });
+  }
   {
     const telemetry::TraceScope batch_span("run_batch", "engine");
     std::vector<std::thread> pool;
@@ -416,20 +668,31 @@ BatchReport run_batch(std::span<const Job> jobs, const EngineOptions& opts) {
     for (unsigned w = 0; w < threads; ++w) {
       pool.emplace_back([&, w] {
         telemetry::Tracer::set_thread_name("worker-" + std::to_string(w));
-        const WorkerContext ctx{&effective, &heuristics, fallback, w};
+        const WorkerContext ctx{
+            &effective, &heuristics, fallback, w,
+            effective.hang_timeout_seconds > 0.0 ? &wstatus[w] : nullptr,
+            journal.get()};
         worker_loop(queue, jobs, sink, ctx);
       });
     }
     for (std::thread& t : pool) t.join();
   }
+  watchdog_stop.store(true, std::memory_order_relaxed);
+  if (watchdog.joinable()) watchdog.join();
   report.outcomes = sink.take();
   // Fill each duplicate from its representative, keeping the duplicate's
   // own name.  Outcomes are pure functions of the payload, so every other
-  // column is exactly what a dedup-off run would have produced.
+  // column is exactly what a dedup-off run would have produced.  The
+  // duplicates' completion records are journalled here — workers only see
+  // representatives.
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     if (rep[i] == i) continue;
     JobOutcome copy = report.outcomes[rep[i]];
     copy.name = jobs[i].name;
+    if (journal != nullptr && !resumed_done(i) &&
+        copy.status != JobStatus::kCancelled) {
+      journal->append_completed(i, copy);
+    }
     report.outcomes[i] = std::move(copy);
   }
   report.wall_seconds =
@@ -438,7 +701,7 @@ BatchReport run_batch(std::span<const Job> jobs, const EngineOptions& opts) {
 }
 
 std::string report_csv(const BatchReport& report, bool include_timings,
-                       bool include_counters) {
+                       bool include_counters, bool include_attempts) {
   using telemetry::Counter;
   std::ostringstream os;
   os << "job,name,vars,status,f_size,c_size,c_onset,min,lower_bound,"
@@ -456,6 +719,7 @@ std::string report_csv(const BatchReport& report, bool include_timings,
     for (const std::string& name : report.names) os << ",sec_" << name;
     os << ",job_seconds,worker";
   }
+  if (include_attempts) os << ",attempts,retry_reason";
   os << "\n";
   char buf[32];
   for (std::size_t i = 0; i < report.outcomes.size(); ++i) {
@@ -487,6 +751,9 @@ std::string report_csv(const BatchReport& report, bool include_timings,
       }
       std::snprintf(buf, sizeof buf, "%.6f", o.seconds);
       os << ',' << buf << ',' << o.worker;
+    }
+    if (include_attempts) {
+      os << ',' << o.attempts << ',' << harness::csv_field(o.retry_reason);
     }
     os << "\n";
   }

@@ -31,6 +31,28 @@
 /// cover f), optionally retrying once on `fallback_heuristic` with a fresh
 /// budget.  Such jobs finish kResourceLimit with the limit class recorded
 /// in `JobOutcome::detail`; kError is reserved for genuine bugs.
+///
+/// Resilience (failpoint-tested; see docs/ROBUSTNESS.md):
+///  * **retry** — `max_retries > 0` re-runs a job whose failure class is
+///    transient (kError, an out-of-memory degrade, a watchdog hang, or an
+///    injected deadline when no job timeout is configured) with
+///    exponential backoff + deterministic jitter.  Each attempt starts
+///    from a fresh JobOutcome, so the *final* outcome of a retried job is
+///    identical to a never-faulted run; `attempts`/`retry_reason` are
+///    recorded but only emitted into the CSV with `include_attempts`
+///    (which failure hits which job is schedule-dependent under faults).
+///  * **watchdog** — `hang_timeout_seconds > 0` starts a monitor thread;
+///    a (job, attempt) exceeding the threshold is cancelled via an
+///    epoch-tagged abort signal polled by the governor (AbortRequested),
+///    then retried or, with the budget exhausted, finished as
+///    kQuarantined.  Only cooperative code can be cancelled — a truly
+///    wedged job (no charge_step, no poll) is detected but still waited
+///    on.
+///  * **journal** — `journal_path` writes an append-only, checksummed,
+///    fsync'd record of submitted jobs and completed outcomes; `resume`
+///    (from journal::read_journal) pre-fills completed outcomes and
+///    re-runs only the rest.  A resumed batch's default CSV is
+///    byte-identical to an uninterrupted run.
 #pragma once
 
 #include <atomic>
@@ -48,6 +70,8 @@
 
 namespace bddmin::engine {
 
+struct JournalContents;  // engine/journal.hpp
+
 enum class JobStatus : std::uint8_t {
   kOk = 0,         ///< all heuristics ran and validated
   kTimeout,        ///< per-job deadline expired between heuristics
@@ -55,6 +79,8 @@ enum class JobStatus : std::uint8_t {
   kError,          ///< decode failure, thrown BDDMIN_CHECK, bad cover or audit finding
   kResourceLimit,  ///< a heuristic exhausted its budget; the job degraded to
                    ///< a still-valid fallback cover (see JobOutcome::detail)
+  kQuarantined,    ///< cancelled by the hang watchdog with the retry budget
+                   ///< exhausted; set aside, never blocks the batch
 };
 
 [[nodiscard]] const char* job_status_name(JobStatus s) noexcept;
@@ -114,6 +140,26 @@ struct EngineOptions {
   /// not-yet-started job completes immediately as kCancelled (jobs are
   /// atomic — a started job always runs to its own completion).
   std::shared_ptr<std::atomic<bool>> cancel;
+  /// Per-job retry budget for transient failures (kError, out-of-memory
+  /// degrades, watchdog hangs; see the header comment).  0 keeps the
+  /// historical fail-on-first-error behaviour.
+  unsigned max_retries = 0;
+  /// Base backoff before retry k: `backoff_ms * 2^(k-1)` ms (capped at
+  /// 10 s) plus a deterministic jitter in [0, backoff_ms) derived from
+  /// (job index, attempt).  0 retries immediately.
+  unsigned backoff_ms = 0;
+  /// Hang threshold for the watchdog thread; a (job, attempt) running
+  /// longer is cancelled (AbortRequested) and retried or quarantined.
+  /// 0 disables the watchdog.
+  double hang_timeout_seconds = 0.0;
+  /// Write-ahead journal path.  Non-empty: the batch truncates the file,
+  /// records every submitted job up front and every outcome as it
+  /// completes (checksummed, fsync'd).  See engine/journal.hpp.
+  std::string journal_path;
+  /// Resume data from journal::read_journal.  Jobs with a recorded
+  /// outcome are pre-filled and not re-run; pass the same `journal_path`
+  /// to keep appending completion records for the jobs that do run.
+  const JournalContents* resume = nullptr;
 };
 
 struct HeuristicResult {
@@ -152,6 +198,14 @@ struct JobOutcome {
   telemetry::CounterSnapshot counters;
   unsigned worker = 0;                   ///< informational; non-deterministic
   double seconds = 0.0;                  ///< total job wall time
+  /// How many times the job ran (1 = no retry).  Deterministic in
+  /// fault-free runs and for deterministic failure classes; under
+  /// injected or real transient faults the victim job is
+  /// schedule-dependent, which is why the CSV column is opt-in.
+  unsigned attempts = 1;
+  /// Failure class of the *first* retried attempt ("error",
+  /// "out-of-memory", "deadline", "hung"); empty when attempts == 1.
+  std::string retry_reason;
 };
 
 struct BatchReport {
@@ -176,9 +230,12 @@ struct BatchReport {
 /// are not.  `include_counters` appends per-job telemetry counters and
 /// per-heuristic phase step splits — deterministic, so byte-identity
 /// across thread counts extends to them (all zeros when telemetry is
-/// compiled out).
+/// compiled out).  `include_attempts` appends the retry columns
+/// (`attempts`, `retry_reason`) — deterministic only when no transient
+/// fault fired (see JobOutcome::attempts).
 [[nodiscard]] std::string report_csv(const BatchReport& report,
                                      bool include_timings = false,
-                                     bool include_counters = false);
+                                     bool include_counters = false,
+                                     bool include_attempts = false);
 
 }  // namespace bddmin::engine

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "analysis/failpoint.hpp"
 #include "bdd/io.hpp"
 #include "bdd/truth_table.hpp"
 #include "workload/instances.hpp"
@@ -41,6 +42,10 @@ Job make_tt_job(std::string name, std::uint64_t f_tt, std::uint64_t c_tt,
 }
 
 minimize::IncSpec decode_job(Manager& mgr, const Job& job) {
+  if (BDDMIN_FAILPOINT("job_decode_corrupt")) {
+    throw std::invalid_argument(
+        "decode_job: payload failed integrity check (injected)");
+  }
   if (mgr.num_vars() < job.num_vars) {
     throw std::invalid_argument("decode_job: manager has too few variables");
   }

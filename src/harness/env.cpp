@@ -1,0 +1,39 @@
+#include "harness/env.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace bddmin::harness {
+
+std::optional<std::string> env_string(const char* name) {
+  // The one getenv in the repo.  Reads are racy against concurrent
+  // setenv by design of the C API; we copy the value out immediately.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || raw[0] == '\0') return std::nullopt;
+  return std::string(raw);
+}
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const std::optional<std::string> raw = env_string(name);
+  if (!raw) return fallback;
+  const std::string& text = *raw;
+  // strtoull accepts leading whitespace, '+', '-' (with wraparound) and
+  // "0x" prefixes; we want plain decimal digits only.
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      throw EnvError(std::string(name) +
+                     ": expected a non-negative integer, got '" + text + "'");
+    }
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (errno == ERANGE || end != text.c_str() + text.size()) {
+    throw EnvError(std::string(name) +
+                   ": expected a non-negative integer, got '" + text + "'");
+  }
+  return static_cast<std::uint64_t>(value);
+}
+
+}  // namespace bddmin::harness

@@ -9,10 +9,19 @@
 #include <thread>
 #include <utility>
 
+#include "analysis/failpoint.hpp"
 #include "bdd/truth_table.hpp"
 
 namespace bddmin::stress {
 namespace {
+
+/// The failpoint registry is process-global and the failpoints workload
+/// arms it mid-walk; start and finish every run with a clean registry so
+/// no arming leaks into a later run (or a later test in the same process).
+struct FailpointHygiene {
+  FailpointHygiene() { analysis::failpoints().disarm_all(); }
+  ~FailpointHygiene() { analysis::failpoints().disarm_all(); }
+};
 
 // Salt lanes of derive_seed: the graph walk and the state bodies must draw
 // from disjoint streams or replaying a state would perturb the walk.
@@ -170,6 +179,7 @@ std::optional<StressFailure> replay_schedule(const StressFsm& fsm,
                                              const StressOptions& opts,
                                              unsigned thread,
                                              std::vector<ScheduleEntry> schedule) {
+  const FailpointHygiene hygiene;
   StressContext ctx(opts, opts.seed, thread);
   std::vector<ScheduleEntry> done;
   done.reserve(schedule.size());
@@ -266,6 +276,7 @@ StressReport run_stress(const StressFsm& fsm, const StressOptions& opts) {
   if (!problem.empty()) {
     throw std::invalid_argument("stress fsm '" + fsm.name + "': " + problem);
   }
+  const FailpointHygiene hygiene;
   StressOptions o = opts;
   if (o.num_threads == 0) o.num_threads = 1;
   if (o.steps_per_thread == 0) o.steps_per_thread = 1;

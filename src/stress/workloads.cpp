@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <iterator>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -10,6 +11,7 @@
 #include <vector>
 
 #include "analysis/audit.hpp"
+#include "analysis/failpoint.hpp"
 #include "analysis/mutate.hpp"
 #include "bdd/bdd.hpp"
 #include "bdd/governor.hpp"
@@ -18,6 +20,7 @@
 #include "engine/engine.hpp"
 #include "engine/job.hpp"
 #include "minimize/registry.hpp"
+#include "minimize/sibling.hpp"
 #include "stress/runner.hpp"
 #include "telemetry/counters.hpp"
 #include "telemetry/trace.hpp"
@@ -419,6 +422,143 @@ std::string inv_fault_detected(StressContext& ctx) {
   return "injected fault detected [" + injected + "] -> " + finding;
 }
 
+// ---- Failpoint states ---------------------------------------------------
+
+/// Failpoints that are safe to leave armed in random mode while ordinary
+/// BDD work runs: each injects a ResourceExhausted the strong-abort
+/// machinery already handles.  The hang/corruption/process-death sites are
+/// deliberately excluded — they need the engine's watchdog/retry harness
+/// around them (fp-batch provides it for the deadline site).
+constexpr const char* kSafeRandomPoints[] = {
+    "unique_insert_oom", "bucket_grow_oom", "gc_oom", "minimize_deadline"};
+
+/// Compact the table and refill the pool while faults may be armed: any
+/// injected ResourceExhausted is absorbed and retried (the gc_oom site can
+/// fire inside the recovery GC itself).  A persistently unlucky random
+/// draw disarms everything rather than spin — forward progress beats
+/// fault coverage on the tail.
+void fp_settle(StressContext& ctx) {
+  for (int tries = 0; tries < 4; ++tries) {
+    try {
+      ctx.manager().garbage_collect();
+      ctx.refill_pool();
+      return;
+    } catch (const ResourceExhausted&) {
+      continue;  // injected mid-refill; the strong guarantee holds, go again
+    }
+  }
+  analysis::failpoints().disarm_all();
+  ctx.manager().garbage_collect();
+  ctx.refill_pool();
+}
+
+/// Arm a random subset of the safe failpoints in random mode with a small
+/// seeded probability.  The registry is process-global, so under multiple
+/// stress threads arming races with evaluation — that contention is the
+/// point (FailPoint::poll is documented safe against concurrent arming).
+/// Which points *this thread* armed is rng-driven and digested; whether
+/// they fire is cross-thread timing and never digested.
+void run_fp_arm(StressContext& ctx) {
+  StepRng& rng = ctx.rng();
+  // Draw every decision *before* settling: fp_settle's retry count is
+  // fire-dependent, and consuming rng draws there would shift the digested
+  // stream below it.
+  struct Draw {
+    bool arm;
+    double probability;
+    std::uint64_t seed;
+  };
+  Draw draws[std::size(kSafeRandomPoints)];
+  for (Draw& d : draws) {
+    d.arm = rng.chance(0.5);
+    d.probability = rng.chance(0.5) ? 0.05 : 0.01;
+    d.seed = rng.next() | 1;
+  }
+  fp_settle(ctx);
+  for (std::size_t i = 0; i < std::size(kSafeRandomPoints); ++i) {
+    if (!draws[i].arm) continue;
+    analysis::FailPointConfig cfg;
+    cfg.mode = analysis::FailPointMode::kRandom;
+    cfg.probability = draws[i].probability;
+    cfg.seed = draws[i].seed;
+    analysis::failpoints().arm(kSafeRandomPoints[i], cfg);
+    ctx.note(kSafeRandomPoints[i]);
+  }
+}
+
+void run_fp_disarm(StressContext& ctx) {
+  analysis::failpoints().disarm_all();
+  // Other walk threads may re-arm concurrently, so settle guarded.
+  fp_settle(ctx);
+  ctx.note_u64(ctx.pool().size());
+}
+
+/// Tier-3 audit of the thread's manager while faults may be armed — the
+/// audits themselves are read-only, so they run fault-free even mid-arm.
+void run_fp_audit(StressContext& ctx) {
+  fp_settle(ctx);
+  ctx.scratch = ctx.audit_now(analysis::AuditLevel::kCache);
+}
+
+/// Ordinary operations with the safe failpoints possibly armed: an
+/// injected OutOfMemory/Deadline must abort the one operation with the
+/// strong guarantee (the invariant audit convicts any torn state) and the
+/// tracked pool must stay intact.  The result is discarded — whether the
+/// fault fired is non-deterministic across threads, so nothing
+/// fire-dependent reaches the digest.
+void run_fp_ops(StressContext& ctx) {
+  fp_settle(ctx);
+  auto& pool = ctx.pool();
+  StepRng& rng = ctx.rng();
+  const Bdd fa = pool[rng.below(pool.size())].bdd;
+  const Bdd fb = pool[rng.below(pool.size())].bdd;
+  try {
+    const Bdd r = fa & fb;
+    const Edge g = minimize::restrict_dc(ctx.manager(), r.edge(), fb.edge());
+    (void)g;  // unreferenced: the next GC reclaims it
+  } catch (const ResourceExhausted&) {
+    // Injected fault: partial results are dead nodes.  The recovery GC is
+    // itself a failpoint site, so settle through the guarded helper.
+    fp_settle(ctx);
+  }
+  ctx.note_u64(pool.size());
+}
+
+/// A small batch under armed failpoints with a retry budget: the engine
+/// must never lose or hang a job, every outcome must carry a coherent
+/// retry trail, and the worker managers must come back audit-clean.
+/// Statuses and attempt counts are fire-dependent — validated, never
+/// digested.
+void run_fp_batch(StressContext& ctx) {
+  StepRng& rng = ctx.rng();
+  const std::vector<engine::Job> jobs =
+      random_tt_jobs(rng, 2 + static_cast<unsigned>(rng.below(3)), 4, "fp");
+  engine::EngineOptions eo;
+  eo.heuristic = "restr";
+  eo.num_threads = 1 + static_cast<unsigned>(rng.below(2));
+  eo.audit_level = analysis::AuditLevel::kRefcount;
+  eo.max_retries = 1 + static_cast<unsigned>(rng.below(2));
+  const engine::BatchReport rep = engine::run_batch(jobs, eo);
+  ctx.scratch = check_statuses(
+      rep, {engine::JobStatus::kOk, engine::JobStatus::kError,
+            engine::JobStatus::kResourceLimit});
+  if (!ctx.scratch.empty()) return;
+  for (const engine::JobOutcome& o : rep.outcomes) {
+    if (o.attempts < 1 || o.attempts > eo.max_retries + 1) {
+      ctx.scratch = "job '" + o.name + "' reports " +
+                    std::to_string(o.attempts) + " attempts with budget " +
+                    std::to_string(eo.max_retries);
+      return;
+    }
+    if ((o.attempts > 1) != !o.retry_reason.empty()) {
+      ctx.scratch = "job '" + o.name + "': attempts=" +
+                    std::to_string(o.attempts) + " but retry_reason='" +
+                    o.retry_reason + "'";
+      return;
+    }
+  }
+}
+
 // ---- Graph assembly -----------------------------------------------------
 
 struct WeightedState {
@@ -521,6 +661,18 @@ StressFsm make_mixed() {
   return b.build();
 }
 
+StressFsm make_failpoints() {
+  return build_hub(
+      "failpoints",
+      "arm/disarm the fault-injection registry mid-walk; ops, audits and "
+      "retrying batches must survive injected OOM/deadline faults",
+      {{"fp-arm", run_fp_arm, inv_pool_audit, 2.0},
+       {"fp-ops", run_fp_ops, inv_pool_audit, 4.0},
+       {"fp-batch", run_fp_batch, inv_scratch, 2.0},
+       {"fp-audit", run_fp_audit, inv_scratch, 1.0},
+       {"fp-disarm", run_fp_disarm, inv_pool_audit, 1.0}});
+}
+
 StressFsm make_faults() {
   return build_hub(
       "faults",
@@ -541,12 +693,14 @@ std::vector<StressFsm> builtin_workloads() {
   out.push_back(make_governor());
   out.push_back(make_telemetry());
   out.push_back(make_mixed());
+  out.push_back(make_failpoints());
   out.push_back(make_faults());
   return out;
 }
 
 std::vector<std::string> workload_names() {
-  return {"core", "engine", "governor", "telemetry", "mixed", "faults"};
+  return {"core",  "engine",     "governor", "telemetry",
+          "mixed", "failpoints", "faults"};
 }
 
 StressFsm workload_by_name(const std::string& name) {
@@ -555,6 +709,7 @@ StressFsm workload_by_name(const std::string& name) {
   if (name == "governor") return make_governor();
   if (name == "telemetry") return make_telemetry();
   if (name == "mixed") return make_mixed();
+  if (name == "failpoints") return make_failpoints();
   if (name == "faults") return make_faults();
   throw std::out_of_range("no built-in stress workload named '" + name + "'");
 }

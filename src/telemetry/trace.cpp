@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "analysis/thread_annotations.hpp"
+#include "harness/env.hpp"
 
 namespace bddmin::telemetry {
 namespace {
@@ -132,12 +133,12 @@ Tracer* check_env() noexcept {
     return g_tracer.load(std::memory_order_acquire);
   }
   Tracer* activated = nullptr;
-  // NOLINTNEXTLINE(concurrency-mt-unsafe): first-use check under g_lifecycle_mu.
-  if (const char* path = std::getenv("BDDMIN_TRACE"); path && *path) {
+  if (const auto path = harness::env_string("BDDMIN_TRACE");
+      path && !path->empty()) {
     Tracer* t = Tracer::singleton();
     {
       const std::lock_guard<std::mutex> impl_lock(t->impl_->mu);
-      t->impl_->path = path;
+      t->impl_->path = *path;
     }
     t->impl_->epoch = Clock::now();
     t->impl_->generation.fetch_add(1, std::memory_order_release);

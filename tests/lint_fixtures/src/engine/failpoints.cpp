@@ -1,0 +1,36 @@
+// R7 fixture: failpoint site hygiene.  Seeded findings:
+//   line 13 — site name not in the failpoint catalog
+//   line 21 — second site for a catalog name that already has one
+//   line 26 — empty catch of ResourceExhausted swallows the injection
+// The first "gc_oom" site and the catch that records the trip are clean.
+#include "analysis/failpoint.hpp"
+
+namespace bddmin::engine {
+
+void decode_with_failpoints() {
+  // A typo'd name never matches a catalog entry, so arming it is
+  // impossible and the site is dead code.
+  if (BDDMIN_FAILPOINT("gc_ooom")) {
+    throw OutOfMemory("injected");
+  }
+  if (BDDMIN_FAILPOINT("gc_oom")) {
+    throw OutOfMemory("injected");
+  }
+  // A second site for the same name makes once/nth arming fire at
+  // whichever site polls first — ambiguous, so it is a finding.
+  if (BDDMIN_FAILPOINT("gc_oom")) {
+    throw OutOfMemory("injected");
+  }
+  try {
+    risky_operation();
+  } catch (const ResourceExhausted&) {
+    // Swallowing the injection (comments do not count as handling).
+  }
+  try {
+    risky_operation();
+  } catch (const ResourceExhausted& e) {
+    record_trip(e);  // compliant: the trip is observable
+  }
+}
+
+}  // namespace bddmin::engine

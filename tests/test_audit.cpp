@@ -13,6 +13,7 @@
 #include "analysis/mutate.hpp"
 #include "bdd/bdd.hpp"
 #include "bdd/ops.hpp"
+#include "harness/env.hpp"
 #include "minimize/registry.hpp"
 #include "workload/instances.hpp"
 
@@ -216,7 +217,9 @@ TEST(Audit, EnvKnobParsesAndClamps) {
   EXPECT_EQ(with_env("2"), AuditLevel::kRefcount);
   EXPECT_EQ(with_env("4"), AuditLevel::kCover);
   EXPECT_EQ(with_env("99"), AuditLevel::kCover);
-  EXPECT_EQ(with_env("banana"), AuditLevel::kOff);
+  // Malformed values are a hard error (see harness/env.hpp), not a silent
+  // audit-nothing default.
+  EXPECT_THROW(static_cast<void>(with_env("banana")), harness::EnvError);
   unsetenv("BDDMIN_AUDIT_LEVEL");
 }
 

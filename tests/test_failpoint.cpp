@@ -1,0 +1,316 @@
+/// \file test_failpoint.cpp
+/// \brief Failpoint registry semantics (modes, arming grammar, env
+/// arming) and the batch engine's resilience around injected faults:
+/// retry/backoff accounting, watchdog quarantine, audit-clean recovery.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "analysis/failpoint.hpp"
+#include "bdd/truth_table.hpp"
+#include "engine/engine.hpp"
+#include "engine/job.hpp"
+#include "harness/env.hpp"
+
+namespace bddmin {
+namespace {
+
+using analysis::FailPointConfig;
+using analysis::FailPointMode;
+using analysis::FailPointRegistry;
+using analysis::failpoints;
+
+/// Every test leaves the process-global registry clean — armed points
+/// would leak into unrelated tests in this binary.
+class FailPointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    failpoints().disarm_all();
+    unsetenv("BDDMIN_FAILPOINTS");
+  }
+  void TearDown() override {
+    failpoints().disarm_all();
+    unsetenv("BDDMIN_FAILPOINTS");
+  }
+};
+
+TEST_F(FailPointTest, CatalogIsStableAndSitesResolve) {
+  const auto& catalog = FailPointRegistry::catalog();
+  EXPECT_EQ(catalog.size(), 11u);
+  for (const auto& entry : catalog) {
+    // site() must resolve every cataloged name to a stable instance.
+    analysis::FailPoint& a = failpoints().site(entry.name);
+    analysis::FailPoint& b = failpoints().site(entry.name);
+    EXPECT_EQ(&a, &b) << entry.name;
+  }
+}
+
+TEST_F(FailPointTest, DisarmedPollNeverFires) {
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(failpoints().evaluate("gc_oom"));
+  }
+}
+
+TEST_F(FailPointTest, OnceFiresExactlyOnceThenDisarms) {
+  FailPointConfig cfg;
+  cfg.mode = FailPointMode::kOnce;
+  failpoints().arm("gc_oom", cfg);
+  EXPECT_TRUE(failpoints().evaluate("gc_oom"));
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(failpoints().evaluate("gc_oom"));
+  }
+}
+
+TEST_F(FailPointTest, NthFiresOnTheNthEvaluation) {
+  FailPointConfig cfg;
+  cfg.mode = FailPointMode::kNth;
+  cfg.nth = 3;
+  failpoints().arm("gc_oom", cfg);
+  EXPECT_FALSE(failpoints().evaluate("gc_oom"));
+  EXPECT_FALSE(failpoints().evaluate("gc_oom"));
+  EXPECT_TRUE(failpoints().evaluate("gc_oom"));
+  EXPECT_FALSE(failpoints().evaluate("gc_oom"));  // disarmed after firing
+}
+
+TEST_F(FailPointTest, RandomIsSeededAndDeterministic) {
+  const auto draw_sequence = [](std::uint64_t seed) {
+    FailPointConfig cfg;
+    cfg.mode = FailPointMode::kRandom;
+    cfg.probability = 0.5;
+    cfg.seed = seed;
+    failpoints().arm("gc_oom", cfg);
+    std::vector<bool> fires;
+    for (int i = 0; i < 64; ++i) {
+      fires.push_back(static_cast<bool>(failpoints().evaluate("gc_oom")));
+    }
+    return fires;
+  };
+  const std::vector<bool> a = draw_sequence(42);
+  const std::vector<bool> b = draw_sequence(42);
+  EXPECT_EQ(a, b);
+  // p = 0.5 over 64 draws: all-equal outcomes are astronomically unlikely,
+  // and a degenerate generator would produce exactly that.
+  bool saw_fire = false;
+  bool saw_miss = false;
+  for (const bool f : a) (f ? saw_fire : saw_miss) = true;
+  EXPECT_TRUE(saw_fire);
+  EXPECT_TRUE(saw_miss);
+  // Random mode stays armed until disarmed.
+  FailPointConfig always;
+  always.mode = FailPointMode::kRandom;
+  always.probability = 1.0;
+  always.seed = 9;
+  failpoints().arm("gc_oom", always);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(failpoints().evaluate("gc_oom"));
+  }
+}
+
+TEST_F(FailPointTest, HitCarriesTheDefaultOrOverriddenPayload) {
+  FailPointConfig cfg;
+  cfg.mode = FailPointMode::kOnce;
+  failpoints().arm("minimize_hang", cfg);  // catalog default payload: 200
+  EXPECT_EQ(failpoints().evaluate("minimize_hang").value, 200u);
+  cfg.value = 7;
+  failpoints().arm("minimize_hang", cfg);
+  EXPECT_EQ(failpoints().evaluate("minimize_hang").value, 7u);
+}
+
+TEST_F(FailPointTest, ArmFromSpecGrammar) {
+  failpoints().arm_from_spec("gc_oom:once");
+  EXPECT_TRUE(failpoints().evaluate("gc_oom"));
+  failpoints().arm_from_spec("gc_oom:nth:2");
+  EXPECT_FALSE(failpoints().evaluate("gc_oom"));
+  EXPECT_TRUE(failpoints().evaluate("gc_oom"));
+  failpoints().arm_from_spec("gc_oom:random:1.0:5");
+  EXPECT_TRUE(failpoints().evaluate("gc_oom"));
+  failpoints().arm_from_spec("gc_oom:off");
+  EXPECT_FALSE(failpoints().evaluate("gc_oom"));
+
+  EXPECT_THROW(failpoints().arm_from_spec("no_such_point:once"),
+               std::invalid_argument);
+  EXPECT_THROW(failpoints().arm_from_spec("gc_oom"), std::invalid_argument);
+  EXPECT_THROW(failpoints().arm_from_spec("gc_oom:sometimes"),
+               std::invalid_argument);
+  EXPECT_THROW(failpoints().arm_from_spec("gc_oom:nth:zero"),
+               std::invalid_argument);
+  EXPECT_THROW(failpoints().arm_from_spec("gc_oom:random:nope"),
+               std::invalid_argument);
+}
+
+TEST_F(FailPointTest, ArmFromEnvArmsEverySpec) {
+  setenv("BDDMIN_FAILPOINTS", "gc_oom:once,minimize_hang:nth:2:9", 1);
+  failpoints().arm_from_env();
+  EXPECT_TRUE(failpoints().evaluate("gc_oom"));
+  EXPECT_FALSE(failpoints().evaluate("minimize_hang"));
+  const auto hit = failpoints().evaluate("minimize_hang");
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(hit.value, 9u);
+}
+
+TEST_F(FailPointTest, MalformedEnvSpecIsAHardError) {
+  setenv("BDDMIN_FAILPOINTS", "gc_oom:nonsense", 1);
+  EXPECT_THROW(failpoints().arm_from_env(), harness::EnvError);
+  unsetenv("BDDMIN_FAILPOINTS");
+  failpoints().arm_from_env();  // unset: no-op
+  EXPECT_FALSE(failpoints().evaluate("gc_oom"));
+}
+
+// ---- Centralized env parsing --------------------------------------------
+
+TEST(EnvParsing, U64FallbackAndStrictness) {
+  unsetenv("BDDMIN_NODE_LIMIT");
+  EXPECT_EQ(harness::env_u64("BDDMIN_NODE_LIMIT", 77), 77u);
+  setenv("BDDMIN_NODE_LIMIT", "123456", 1);
+  EXPECT_EQ(harness::env_u64("BDDMIN_NODE_LIMIT", 77), 123456u);
+  for (const char* bad : {"12x", "-3", "+3", " 12", "12 ", "0x10", "banana",
+                          "99999999999999999999999999"}) {
+    setenv("BDDMIN_NODE_LIMIT", bad, 1);
+    EXPECT_THROW(static_cast<void>(harness::env_u64("BDDMIN_NODE_LIMIT", 0)),
+                 harness::EnvError)
+        << bad;
+  }
+  setenv("BDDMIN_NODE_LIMIT", "", 1);
+  EXPECT_EQ(harness::env_u64("BDDMIN_NODE_LIMIT", 5), 5u);
+  unsetenv("BDDMIN_NODE_LIMIT");
+}
+
+TEST(EnvParsing, StringCopiesTheValueOut) {
+  setenv("BDDMIN_TRACE", "/tmp/x.json", 1);
+  const auto v = harness::env_string("BDDMIN_TRACE");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, "/tmp/x.json");
+  unsetenv("BDDMIN_TRACE");
+  EXPECT_FALSE(harness::env_string("BDDMIN_TRACE").has_value());
+}
+
+// ---- Engine resilience under injected faults ----------------------------
+
+std::vector<engine::Job> small_jobs(unsigned count) {
+  std::vector<engine::Job> jobs;
+  const std::uint64_t mask = tt_mask(4);
+  std::uint64_t x = 0x9e3779b97f4a7c15ull;
+  for (unsigned k = 0; k < count; ++k) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    const std::uint64_t f = x & mask;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    jobs.push_back(engine::make_tt_job("j" + std::to_string(k), f,
+                                       (x & mask) | 1, 4));
+  }
+  return jobs;
+}
+
+TEST_F(FailPointTest, InjectedDeadlineRetriesToACleanOutcome) {
+  const std::vector<engine::Job> jobs = small_jobs(1);
+  engine::EngineOptions eo;
+  eo.heuristic = "restr";
+  eo.num_threads = 1;
+  eo.max_retries = 1;
+
+  const engine::BatchReport clean = engine::run_batch(jobs, eo);
+  ASSERT_EQ(clean.outcomes[0].status, engine::JobStatus::kOk);
+  EXPECT_EQ(clean.outcomes[0].attempts, 1u);
+  EXPECT_EQ(clean.outcomes[0].retry_reason, "");
+
+  failpoints().arm_from_spec("minimize_deadline:once");
+  const engine::BatchReport faulted = engine::run_batch(jobs, eo);
+  EXPECT_EQ(faulted.outcomes[0].status, engine::JobStatus::kOk);
+  EXPECT_EQ(faulted.outcomes[0].attempts, 2u);
+  EXPECT_EQ(faulted.outcomes[0].retry_reason, "deadline");
+  // The retried attempt starts from a fresh outcome, so the default CSV
+  // (no attempts columns) is byte-identical to the never-faulted run.
+  EXPECT_EQ(engine::report_csv(faulted), engine::report_csv(clean));
+}
+
+TEST_F(FailPointTest, RetryBudgetExhaustedKeepsTheDegradedOutcome) {
+  const std::vector<engine::Job> jobs = small_jobs(1);
+  engine::EngineOptions eo;
+  eo.heuristic = "restr";
+  eo.num_threads = 1;
+  eo.max_retries = 1;
+  // Fires on both the first attempt and the retry.
+  failpoints().arm_from_spec("minimize_deadline:random:1.0");
+  const engine::BatchReport rep = engine::run_batch(jobs, eo);
+  EXPECT_EQ(rep.outcomes[0].status, engine::JobStatus::kResourceLimit);
+  EXPECT_EQ(rep.outcomes[0].attempts, 2u);
+  EXPECT_EQ(rep.outcomes[0].retry_reason, "deadline");
+  EXPECT_NE(rep.outcomes[0].detail.find("deadline"), std::string::npos);
+}
+
+TEST_F(FailPointTest, WatchdogQuarantinesAHungJobWithoutRetries) {
+  const std::vector<engine::Job> jobs = small_jobs(2);
+  engine::EngineOptions eo;
+  eo.heuristic = "restr";
+  eo.num_threads = 1;
+  eo.hang_timeout_seconds = 0.05;
+  failpoints().arm_from_spec("worker_loop_hang:once:2000");
+  const engine::BatchReport rep = engine::run_batch(jobs, eo);
+  EXPECT_EQ(rep.count(engine::JobStatus::kQuarantined), 1u);
+  EXPECT_EQ(rep.count(engine::JobStatus::kOk), 1u);
+  for (const engine::JobOutcome& o : rep.outcomes) {
+    if (o.status == engine::JobStatus::kQuarantined) {
+      EXPECT_NE(o.detail.find("watchdog"), std::string::npos) << o.detail;
+    }
+  }
+}
+
+TEST_F(FailPointTest, WatchdogPlusRetryRecoversTheHungJob) {
+  const std::vector<engine::Job> jobs = small_jobs(2);
+  engine::EngineOptions eo;
+  eo.heuristic = "restr";
+  eo.num_threads = 1;
+  eo.max_retries = 1;
+  const engine::BatchReport clean = engine::run_batch(jobs, eo);
+
+  eo.hang_timeout_seconds = 0.05;
+  failpoints().arm_from_spec("minimize_hang:once:2000");
+  const engine::BatchReport rep = engine::run_batch(jobs, eo);
+  EXPECT_EQ(rep.count(engine::JobStatus::kOk), 2u);
+  EXPECT_EQ(engine::report_csv(rep), engine::report_csv(clean));
+  unsigned retried = 0;
+  for (const engine::JobOutcome& o : rep.outcomes) {
+    if (o.attempts > 1) {
+      ++retried;
+      EXPECT_EQ(o.retry_reason, "hung");
+    }
+  }
+  EXPECT_EQ(retried, 1u);
+}
+
+TEST_F(FailPointTest, InjectedOomLeavesManagersAuditClean) {
+  const std::vector<engine::Job> jobs = small_jobs(4);
+  engine::EngineOptions eo;
+  eo.heuristic = "restr";
+  eo.num_threads = 1;
+  eo.max_retries = 2;
+  eo.audit_level = analysis::AuditLevel::kCache;
+  failpoints().arm_from_spec("unique_insert_oom:nth:40");
+  const engine::BatchReport rep = engine::run_batch(jobs, eo);
+  for (const engine::JobOutcome& o : rep.outcomes) {
+    EXPECT_NE(o.status, engine::JobStatus::kError)
+        << o.name << ": " << o.error;
+    EXPECT_EQ(o.audit_findings, 0u) << o.name;
+  }
+}
+
+TEST_F(FailPointTest, AttemptsColumnsAreOptIn) {
+  const std::vector<engine::Job> jobs = small_jobs(1);
+  engine::EngineOptions eo;
+  eo.heuristic = "restr";
+  const engine::BatchReport rep = engine::run_batch(jobs, eo);
+  const std::string plain = engine::report_csv(rep);
+  EXPECT_EQ(plain.find("attempts"), std::string::npos);
+  const std::string with =
+      engine::report_csv(rep, false, false, /*include_attempts=*/true);
+  EXPECT_NE(with.find(",attempts,retry_reason"), std::string::npos);
+  EXPECT_NE(with.find(",1,"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bddmin

@@ -79,7 +79,7 @@ std::vector<ParsedFinding> parse_findings(const std::string& output) {
     if (endp == line.c_str() + c1 + 1 || *endp != ':') continue;
     const std::size_t rs = line.find(" R", endp - line.c_str());
     if (rs == std::string::npos || rs + 2 >= line.size() ||
-        line[rs + 2] < '1' || line[rs + 2] > '6') {
+        line[rs + 2] < '1' || line[rs + 2] > '7') {
       continue;
     }
     found.push_back(ParsedFinding{line.substr(0, c1),
@@ -96,6 +96,9 @@ const std::vector<ParsedFinding> kSeeded = {
     {"tests/lint_fixtures/scopes.cpp", 42, "R5"},
     {"tests/lint_fixtures/scopes.cpp", 44, "R5"},
     {"tests/lint_fixtures/src/bdd/ops.cpp", 28, "R1"},
+    {"tests/lint_fixtures/src/engine/failpoints.cpp", 13, "R7"},
+    {"tests/lint_fixtures/src/engine/failpoints.cpp", 21, "R7"},
+    {"tests/lint_fixtures/src/engine/failpoints.cpp", 26, "R7"},
     {"tests/lint_fixtures/src/stress/hooks.cpp", 14, "R6"},
     {"tests/lint_fixtures/src/stress/hooks.cpp", 20, "R6"},
     {"tests/lint_fixtures/suppressed.cpp", 16, "R3"},

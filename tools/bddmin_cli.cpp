@@ -35,6 +35,8 @@
 ///                  [--audit-level L] [--timeout-ms M] [--lower-bound]
 ///                  [--node-limit N] [--step-limit N]
 ///                  [--fallback-heuristic NAME] [--csv PATH] [--timings]
+///                  [--max-retries N] [--backoff-ms N] [--hang-timeout-ms N]
+///                  [--attempts] [--journal PATH] [--resume]
 ///     Shard a set of minimization jobs across a worker pool (each worker
 ///     owns a private manager) and print the per-status summary plus a
 ///     submission-order CSV report.  Jobs come from the PLA's output
@@ -47,6 +49,20 @@
 ///     The CSV is byte-identical for any --threads value; --timings
 ///     appends the non-deterministic timing columns and --counters the
 ///     deterministic telemetry counter / phase-step columns.
+///     Resilience (docs/ROBUSTNESS.md): --max-retries re-runs jobs with a
+///     transient failure class, backing off --backoff-ms * 2^k with
+///     deterministic jitter; --hang-timeout-ms starts a watchdog that
+///     cancels (and retries or quarantines) a stuck job; --attempts
+///     appends the `attempts`/`retry_reason` CSV columns.  --journal PATH
+///     keeps a checksummed write-ahead journal of the batch; after a
+///     crash, `--journal PATH --resume` re-runs only the incomplete jobs
+///     and produces a CSV byte-identical to an uninterrupted run.
+///
+/// bddmin_cli failpoints [--describe]
+///     List the registered fault-injection points (one name per line, for
+///     the CI sweep); --describe adds what each site simulates.  Arm them
+///     via BDDMIN_FAILPOINTS=name:mode[:arg...] (see
+///     src/analysis/failpoint.hpp).
 ///
 /// bddmin_cli stats [batch flags]
 ///     Run the same batch as `batch` (all flags accepted) and print the
@@ -74,7 +90,7 @@
 /// Exit codes: 0 every job ok; 3 at least one job errored (genuine bug;
 /// for `stress`: an invariant failed, or --replay/--expect-failure did
 /// not reproduce); 4 no errors but some jobs degraded (resource-limit,
-/// timeout or cancelled); 1 usage / I/O problems.
+/// timeout, cancelled or quarantined); 1 usage / I/O problems.
 /// ```
 #include <algorithm>
 #include <cstdio>
@@ -88,10 +104,12 @@
 
 #include "analysis/audit.hpp"
 #include "analysis/cover_audit.hpp"
+#include "analysis/failpoint.hpp"
 #include "analysis/mutate.hpp"
 #include "bdd/bdd.hpp"
 #include "bdd/ops.hpp"
 #include "engine/engine.hpp"
+#include "engine/journal.hpp"
 #include "fsm/equiv.hpp"
 #include "fsm/kiss.hpp"
 #include "harness/csv.hpp"
@@ -397,19 +415,46 @@ engine::EngineOptions batch_options(int argc, char** argv) {
   if (const char* name = flag_value(argc, argv, "--fallback-heuristic")) {
     opts.fallback_heuristic = name;
   }
+  opts.max_retries =
+      static_cast<unsigned>(int_flag(argc, argv, "--max-retries", 0));
+  opts.backoff_ms =
+      static_cast<unsigned>(int_flag(argc, argv, "--backoff-ms", 0));
+  opts.hang_timeout_seconds =
+      int_flag(argc, argv, "--hang-timeout-ms", 0) / 1000.0;
   return opts;
 }
 
 int batch_exit_code(const engine::BatchReport& report) {
   // 0: every job clean.  3: at least one genuine bug.  4: no bugs, but
-  // some jobs degraded (resource-limit / timeout / cancelled).
+  // some jobs degraded (resource-limit / timeout / cancelled /
+  // quarantined-by-the-watchdog).
   if (report.count(engine::JobStatus::kError) > 0) return 3;
   return report.count(engine::JobStatus::kOk) == report.outcomes.size() ? 0 : 4;
 }
 
 int cmd_batch(int argc, char** argv) {
-  const std::vector<engine::Job> jobs = batch_jobs(argc, argv);
-  const engine::EngineOptions opts = batch_options(argc, argv);
+  engine::EngineOptions opts = batch_options(argc, argv);
+  const char* journal_path = flag_value(argc, argv, "--journal");
+  const bool resume = has_flag(argc, argv, "--resume");
+  if (resume && journal_path == nullptr) {
+    std::fprintf(stderr, "error: --resume requires --journal PATH\n");
+    return 1;
+  }
+  engine::JournalContents resumed;
+  std::vector<engine::Job> jobs;
+  if (resume) {
+    resumed = engine::read_journal(journal_path);
+    for (const std::string& warning : resumed.warnings) {
+      std::fprintf(stderr, "journal: %s\n", warning.c_str());
+    }
+    jobs = resumed.jobs;
+    opts.resume = &resumed;
+    std::printf("resuming %s: %zu of %zu jobs already complete\n",
+                journal_path, resumed.completed_count(), jobs.size());
+  } else {
+    jobs = batch_jobs(argc, argv);
+  }
+  if (journal_path != nullptr) opts.journal_path = journal_path;
   const engine::BatchReport report = engine::run_batch(jobs, opts);
   std::size_t total_f = 0;
   std::size_t total_min = 0;
@@ -423,17 +468,20 @@ int cmd_batch(int argc, char** argv) {
               report.outcomes.size(), report.names.size(),
               report.num_threads, report.wall_seconds);
   std::printf(
-      "status: ok=%zu timeout=%zu cancelled=%zu error=%zu resource-limit=%zu\n",
+      "status: ok=%zu timeout=%zu cancelled=%zu error=%zu resource-limit=%zu"
+      " quarantined=%zu\n",
       report.count(engine::JobStatus::kOk),
       report.count(engine::JobStatus::kTimeout),
       report.count(engine::JobStatus::kCancelled),
       report.count(engine::JobStatus::kError),
-      report.count(engine::JobStatus::kResourceLimit));
+      report.count(engine::JobStatus::kResourceLimit),
+      report.count(engine::JobStatus::kQuarantined));
   std::printf("nodes: f=%zu best=%zu peak_live=%zu\n", total_f, total_min,
               peak_live);
   const std::string csv =
       engine::report_csv(report, has_flag(argc, argv, "--timings"),
-                         has_flag(argc, argv, "--counters"));
+                         has_flag(argc, argv, "--counters"),
+                         has_flag(argc, argv, "--attempts"));
   if (const char* path = flag_value(argc, argv, "--csv")) {
     if (!harness::write_text_file(path, csv)) {
       std::fprintf(stderr, "cannot write %s\n", path);
@@ -455,6 +503,20 @@ int cmd_stats(int argc, char** argv) {
   std::printf("%s",
               telemetry::prometheus_text(telemetry::global().snapshot()).c_str());
   return batch_exit_code(report);
+}
+
+int cmd_failpoints(int argc, char** argv) {
+  // Names only by default so shell loops (the CI sweep) can consume the
+  // output directly; --describe adds the catalog descriptions.
+  const bool describe = has_flag(argc, argv, "--describe");
+  for (const auto& entry : analysis::FailPointRegistry::catalog()) {
+    if (describe) {
+      std::printf("%-22s %s\n", entry.name, entry.description);
+    } else {
+      std::printf("%s\n", entry.name);
+    }
+  }
+  return 0;
 }
 
 int cmd_stress(int argc, char** argv) {
@@ -548,6 +610,9 @@ int main(int argc, char** argv) {
     if (argc >= 2 && std::strcmp(argv[1], "stress") == 0) {
       return cmd_stress(argc - 2, argv + 2);
     }
+    if (argc >= 2 && std::strcmp(argv[1], "failpoints") == 0) {
+      return cmd_failpoints(argc - 2, argv + 2);
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
@@ -568,8 +633,13 @@ int main(int argc, char** argv) {
                " [--node-limit N] [--step-limit N]\n"
                "                   [--fallback-heuristic NAME]"
                " [--csv PATH] [--timings] [--counters]\n"
+               "                   [--max-retries N] [--backoff-ms N]"
+               " [--hang-timeout-ms N] [--attempts]\n"
+               "                   [--journal PATH] [--resume]\n"
                "  bddmin_cli stats [batch flags]  (prints Prometheus-style"
                " telemetry counters)\n"
+               "  bddmin_cli failpoints [--describe]  (lists the registered"
+               " fault-injection points)\n"
                "  bddmin_cli stress [--workload NAME] [--seed S]"
                " [--threads T] [--steps K]\n"
                "                    [--wall-seconds W] [--audit-level L]"

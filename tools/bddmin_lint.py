@@ -24,6 +24,13 @@ Rules (see docs/API.md for the full contract text):
       `wait()`, `wait_for()`, `wait_until()`) — an invariant hook that
       blocks while holding the tracer or a lock can deadlock the very
       schedule it is auditing; release the scope/lock first
+  R7  failpoint hygiene: every `BDDMIN_FAILPOINT("name")` site must name
+      an entry of the catalog in src/analysis/failpoint.cpp, each
+      catalog name may have at most one site in the tree (a second site
+      makes `once`/`nth` arming fire at whichever polls first —
+      ambiguous), the catalog itself must not register a name twice, and
+      a `catch` of ResourceExhausted must not have an empty body — a
+      silently swallowed injection defeats the fault it simulates
 
 Suppressions: append `// bddmin-lint: allow(Rn) -- <justification>` on the
 offending line or the line directly above it.  The justification is
@@ -44,7 +51,7 @@ import os
 import re
 import sys
 
-ALL_RULES = ("R1", "R2", "R3", "R4", "R5", "R6")
+ALL_RULES = ("R1", "R2", "R3", "R4", "R5", "R6", "R7")
 
 # Files whose *definitions* legitimately contain the patterns a rule hunts.
 RULE_EXEMPT_FILES = {
@@ -62,8 +69,11 @@ R6_PATH = "src/stress/"
 
 REGISTRY_RELPATH = "src/bdd/cache_tags.hpp"
 
+# R7's ground truth: the failpoint catalog between the sentinel comments.
+FAILPOINT_CATALOG_RELPATH = "src/analysis/failpoint.cpp"
+
 SUPPRESS_RE = re.compile(
-    r"//\s*bddmin-lint:\s*allow\((R[1-6])\)\s*(?:(?:--|:)\s*(.*\S))?\s*$")
+    r"//\s*bddmin-lint:\s*allow\((R[1-7])\)\s*(?:(?:--|:)\s*(.*\S))?\s*$")
 
 
 class Finding:
@@ -81,11 +91,13 @@ class Finding:
 # and collect suppression comments keyed by line number.
 # ---------------------------------------------------------------------------
 
-def scan_source(text):
+def scan_source(text, keep_strings=False):
     """Return (clean_text, suppressions) for one translation unit.
 
     clean_text has comments and string/char literal *contents* blanked out
     (newlines kept), so downstream regexes never match inside either.
+    keep_strings leaves literal contents in place (still comment-free) for
+    rules that must read them, like R7's failpoint site names.
     suppressions maps line number -> list of (rule, justification|None).
     """
     suppressions = {}
@@ -115,9 +127,12 @@ def scan_source(text):
             i += 1
             while i < n and text[i] != quote:
                 if text[i] == "\\":
+                    if keep_strings:
+                        out.append(text[i])
                     i += 1
-                if i < n and text[i] == "\n":
-                    out.append("\n")
+                if i < n:
+                    if keep_strings or text[i] == "\n":
+                        out.append(text[i])
                 i += 1
             out.append(quote)
             i = min(i + 1, n)
@@ -484,6 +499,77 @@ def check_r6(relpath, body_line, body, findings):
             "or a lock can deadlock the schedule under audit"))
 
 
+FAILPOINT_SITE_RE = re.compile(r"\bBDDMIN_FAILPOINT\s*\(\s*\"(\w+)\"\s*\)")
+FAILPOINT_ENTRY_RE = re.compile(r"^\s*\{\s*\"(\w+)\"", re.MULTILINE)
+EMPTY_EXHAUSTED_CATCH_RE = re.compile(
+    r"\bcatch\s*\(([^()]*\bResourceExhausted\b[^()]*)\)\s*\{\s*\}")
+
+
+def load_failpoint_catalog(root, findings):
+    """Name -> line of the failpoint catalog; duplicates become findings.
+
+    Parses the block between the bddmin-failpoint-catalog-begin/end
+    sentinels in src/analysis/failpoint.cpp (comment-stripped, strings
+    kept — the names *are* string literals).
+    """
+    path = os.path.join(root, FAILPOINT_CATALOG_RELPATH)
+    try:
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+    except OSError:
+        return {}
+    begin = text.find("bddmin-failpoint-catalog-begin")
+    end = text.find("bddmin-failpoint-catalog-end")
+    if begin < 0 or end < 0 or end <= begin:
+        findings.append(Finding(
+            FAILPOINT_CATALOG_RELPATH, 1, "R7",
+            "failpoint catalog sentinels (bddmin-failpoint-catalog-begin/"
+            "end) not found — R7 cannot cross-check sites"))
+        return {}
+    block = scan_source(text[begin:end], keep_strings=True)[0]
+    line_base = text.count("\n", 0, begin)
+    catalog = {}
+    for m in FAILPOINT_ENTRY_RE.finditer(block):
+        name = m.group(1)
+        lineno = line_base + block.count("\n", 0, m.start()) + 1
+        if name in catalog:
+            findings.append(Finding(
+                FAILPOINT_CATALOG_RELPATH, lineno, "R7",
+                f"failpoint {name!r} registered twice in the catalog "
+                f"(first at line {catalog[name]})"))
+        else:
+            catalog[name] = lineno
+    return catalog
+
+
+def check_r7(relpath, clean_keep, clean, catalog, seen_sites, findings):
+    """Failpoint site hygiene; `seen_sites` accumulates across files."""
+    line_of = _line_index(clean_keep)
+    for m in FAILPOINT_SITE_RE.finditer(clean_keep):
+        name = m.group(1)
+        lineno = line_of(m.start())
+        if name not in catalog:
+            findings.append(Finding(
+                relpath, lineno, "R7",
+                f"BDDMIN_FAILPOINT site {name!r} is not in the catalog of "
+                f"{FAILPOINT_CATALOG_RELPATH} — it can never be armed"))
+        elif name in seen_sites:
+            first_path, first_line = seen_sites[name]
+            findings.append(Finding(
+                relpath, lineno, "R7",
+                f"second BDDMIN_FAILPOINT site for {name!r} (first at "
+                f"{first_path}:{first_line}) — once/nth arming would fire "
+                "at whichever site polls first"))
+        else:
+            seen_sites[name] = (relpath, lineno)
+    line_of_clean = _line_index(clean)
+    for m in EMPTY_EXHAUSTED_CATCH_RE.finditer(clean):
+        findings.append(Finding(
+            relpath, line_of_clean(m.start()), "R7",
+            "empty catch of ResourceExhausted swallows injected faults — "
+            "recover, rethrow, or at least record the trip"))
+
+
 # ---------------------------------------------------------------------------
 # Optional clang.cindex frontend (same findings, AST-precise locations).
 # ---------------------------------------------------------------------------
@@ -637,6 +723,10 @@ def main():
     suppressions_by_file = {}
     if "R2" in rules:
         check_registry_duplicates(root, registry, findings)
+    failpoint_catalog = {}
+    failpoint_sites = {}
+    if "R7" in rules:
+        failpoint_catalog = load_failpoint_catalog(root, findings)
     for path in files:
         rel = relpath_of(path, root)
         try:
@@ -676,6 +766,10 @@ def main():
                     check_r6(rel, body_line, body_clean, findings)
         if "R5" in rules and not exempt(rel, "R5"):
             check_r5(rel, clean, findings)
+        if "R7" in rules and not exempt(rel, "R7"):
+            clean_keep = scan_source(text, keep_strings=True)[0]
+            check_r7(rel, clean_keep, clean, failpoint_catalog,
+                     failpoint_sites, findings)
 
     errors = []
     findings = apply_suppressions(findings, suppressions_by_file, errors)
