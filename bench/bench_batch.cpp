@@ -10,10 +10,20 @@
 /// hardware thread all counts collapse to ~1x.  Determinism is asserted
 /// unconditionally — the CSV never depends on the thread count.
 ///
-/// Exit status: 0 on success, 1 on CSV divergence or failed jobs.
+/// BENCH_batch.json (schema_version 2) separates the two kinds of data:
+/// thread-invariant counters (cache hits/misses, governor steps,
+/// peak_live, job tallies) are *asserted* equal across thread counts and
+/// emitted once at top level, while each per-thread run object carries
+/// only what actually varies — wall time, speedup, p50/p90/p99 job
+/// latency, per-worker busy/steal/sink/idle fractions and steal stats —
+/// the before/after baseline ROADMAP item 1's scaling fix needs.
+///
+/// Exit status: 0 on success, 1 on CSV divergence, failed jobs, or a
+/// thread-variant "invariant" counter.
 #include <algorithm>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "engine/collect.hpp"
@@ -75,6 +85,30 @@ std::vector<engine::Job> harvest_jobs() {
   return collector.take();
 }
 
+/// The counter fields that must not depend on the thread count (the
+/// per-job counters are deterministic, so their batch sums are too).
+struct InvariantCounters {
+  std::size_t ok = 0;
+  std::size_t duplicate_jobs = 0;
+  std::size_t peak_live = 0;
+  telemetry::CounterSnapshot counters;
+
+  [[nodiscard]] bool operator==(const InvariantCounters&) const = default;
+};
+
+InvariantCounters invariants_of(const engine::BatchReport& report) {
+  InvariantCounters inv;
+  inv.ok = report.count(engine::JobStatus::kOk);
+  inv.duplicate_jobs = report.duplicate_jobs;
+  for (const engine::JobOutcome& o : report.outcomes) {
+    // Worst single-job live-node footprint: the quota a resource-governed
+    // rerun of this workload would need to finish untripped.
+    inv.peak_live = std::max(inv.peak_live, o.peak_live);
+    inv.counters += o.counters;
+  }
+  return inv;
+}
+
 int run() {
   const std::vector<engine::Job> jobs = harvest_jobs();
   if (jobs.empty()) {
@@ -85,87 +119,138 @@ int run() {
   int failures = 0;
   std::string baseline;
   double base_seconds = 0.0;
+  InvariantCounters inv;
   harness::JsonWriter json;
   json.begin_object();
   json.kv("bench", "batch");
+  json.kv("schema_version", 2);
   json.kv("jobs", jobs.size());
+  json.kv("hardware_concurrency",
+          static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
   json.key("runs");
   json.begin_array();
-  std::printf("# %7s %10s %9s %4s %9s %9s %10s\n", "threads", "wall[s]",
-              "speedup", "ok", "timeout", "error", "peak_live");
+  std::printf("# %7s %10s %9s %4s %8s %8s %7s %7s\n", "threads", "wall[s]",
+              "speedup", "ok", "p50[ms]", "p99[ms]", "busy", "steal%");
   for (const unsigned threads : {1u, 2u, 4u, 8u}) {
     engine::EngineOptions opts;
     opts.num_threads = threads;
     opts.lower_bound_cubes = 500;
     const engine::BatchReport report = engine::run_batch(jobs, opts);
-    const std::size_t ok = report.count(engine::JobStatus::kOk);
-    if (ok != jobs.size()) ++failures;
-    // Worst single-job live-node footprint: the quota a resource-governed
-    // rerun of this workload would need to finish untripped.
-    std::size_t peak_live = 0;
-    for (const engine::JobOutcome& o : report.outcomes) {
-      peak_live = std::max(peak_live, o.peak_live);
-    }
+    const InvariantCounters this_inv = invariants_of(report);
+    if (this_inv.ok != jobs.size()) ++failures;
     const std::string csv = engine::report_csv(report);
     if (baseline.empty()) {
       baseline = csv;
       base_seconds = report.wall_seconds;
-    } else if (csv != baseline) {
-      std::printf("!! CSV at %u threads diverges from the 1-thread report\n",
-                  threads);
-      ++failures;
+      inv = this_inv;
+    } else {
+      if (csv != baseline) {
+        std::printf("!! CSV at %u threads diverges from the 1-thread report\n",
+                    threads);
+        ++failures;
+      }
+      // The determinism contract, checked instead of silently copied:
+      // counter sums must not depend on the thread count.
+      if (this_inv != inv) {
+        std::printf("!! counters at %u threads diverge from the 1-thread "
+                    "run (schema top-level fields are unsound)\n",
+                    threads);
+        ++failures;
+      }
     }
-    // Whole-batch telemetry: the per-job counters are deterministic, so
-    // these sums must agree at every thread count.
-    telemetry::CounterSnapshot counters;
-    for (const engine::JobOutcome& o : report.outcomes) {
-      counters += o.counters;
+    // The distribution-and-timeline block this PR adds: latency
+    // percentiles, per-worker utilization and steal stats — wall-clock
+    // data, legitimately different at every thread count.
+    const engine::BatchMetrics& m = report.metrics;
+    double busy_total = 0.0;
+    for (const engine::WorkerUtilization& u : m.workers) {
+      busy_total += u.busy_seconds;
     }
-    const std::uint64_t hits = counters.total_cache_hits();
-    const std::uint64_t misses = counters.total_cache_misses();
-    const auto rate = [](std::uint64_t hit, std::uint64_t miss) {
-      return hit + miss ? static_cast<double>(hit) / (hit + miss) : 0.0;
-    };
-    const std::uint64_t and_hits =
-        counters.value(telemetry::Counter::kAndCacheHits);
-    const std::uint64_t and_misses =
-        counters.value(telemetry::Counter::kAndCacheMisses);
-    const std::uint64_t xor_hits =
-        counters.value(telemetry::Counter::kXorCacheHits);
-    const std::uint64_t xor_misses =
-        counters.value(telemetry::Counter::kXorCacheMisses);
+    const double wall = report.wall_seconds;
+    const double busy_frac =
+        wall > 0.0 ? busy_total / (wall * threads) : 0.0;
+    const double steal_rate =
+        m.steal_attempts > 0
+            ? static_cast<double>(m.steals) /
+                  static_cast<double>(m.steal_attempts)
+            : 0.0;
     json.begin_object();
     json.kv("threads", threads);
-    json.kv("wall_seconds", report.wall_seconds);
-    json.kv("speedup",
-            report.wall_seconds > 0 ? base_seconds / report.wall_seconds : 0.0);
-    json.kv("ok", ok);
-    json.kv("duplicate_jobs", report.duplicate_jobs);
-    json.kv("peak_live", peak_live);
-    json.kv("cache_hits", hits);
-    json.kv("cache_misses", misses);
-    json.kv("cache_hit_rate", rate(hits, misses));
-    json.kv("and_cache_hits", and_hits);
-    json.kv("and_cache_misses", and_misses);
-    json.kv("and_cache_hit_rate", rate(and_hits, and_misses));
-    json.kv("xor_cache_hits", xor_hits);
-    json.kv("xor_cache_misses", xor_misses);
-    json.kv("xor_cache_hit_rate", rate(xor_hits, xor_misses));
-    json.kv("steps",
-            counters.value(telemetry::Counter::kGovernorSteps));
+    json.kv("wall_seconds", wall);
+    json.kv("speedup", wall > 0 ? base_seconds / wall : 0.0);
+    json.key("job_latency_ns").begin_object();
+    json.kv("p50", m.job_latency_ns.quantile(0.50));
+    json.kv("p90", m.job_latency_ns.quantile(0.90));
+    json.kv("p99", m.job_latency_ns.quantile(0.99));
+    json.kv("max", m.job_latency_ns.max_bound());
+    json.kv("mean", m.job_latency_ns.mean());
     json.end_object();
-    std::printf("  %7u %10.3f %8.2fx %4zu %9zu %9zu %10zu\n", threads,
-                report.wall_seconds,
-                report.wall_seconds > 0 ? base_seconds / report.wall_seconds
-                                        : 0.0,
-                ok, report.count(engine::JobStatus::kTimeout),
-                report.count(engine::JobStatus::kError), peak_live);
+    json.key("queue_depth").begin_object();
+    json.kv("p50", m.queue_depth.quantile(0.50));
+    json.kv("max", m.queue_depth.max_bound());
+    json.kv("samples", m.queue_depth.count);
+    json.end_object();
+    json.kv("busy_fraction", busy_frac);
+    json.kv("steal_attempts", m.steal_attempts);
+    json.kv("steals", m.steals);
+    json.kv("steal_success_rate", steal_rate);
+    json.key("workers").begin_array();
+    for (const engine::WorkerUtilization& u : m.workers) {
+      json.begin_object();
+      json.kv("worker", u.worker);
+      json.kv("busy_fraction", wall > 0 ? u.busy_seconds / wall : 0.0);
+      json.kv("steal_fraction", wall > 0 ? u.steal_seconds / wall : 0.0);
+      json.kv("sink_fraction", wall > 0 ? u.sink_seconds / wall : 0.0);
+      json.kv("idle_fraction", wall > 0 ? u.idle_seconds / wall : 0.0);
+      json.kv("jobs", u.jobs);
+      json.kv("steals", u.steals);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+    std::printf("  %7u %10.3f %8.2fx %4zu %8.2f %8.2f %6.1f%% %6.1f%%\n",
+                threads, wall, wall > 0 ? base_seconds / wall : 0.0,
+                this_inv.ok,
+                static_cast<double>(m.job_latency_ns.quantile(0.50)) / 1e6,
+                static_cast<double>(m.job_latency_ns.quantile(0.99)) / 1e6,
+                busy_frac * 100.0, steal_rate * 100.0);
     std::fflush(stdout);
   }
   std::printf("# deterministic report: %s\n",
               failures == 0 ? "byte-identical across all thread counts"
                             : "DIVERGED");
   json.end_array();
+  // The asserted-invariant counters, once (schema_version 2): every
+  // per-thread run above produced exactly these sums.
+  const auto rate = [](std::uint64_t hit, std::uint64_t miss) {
+    return hit + miss ? static_cast<double>(hit) / (hit + miss) : 0.0;
+  };
+  const std::uint64_t hits = inv.counters.total_cache_hits();
+  const std::uint64_t misses = inv.counters.total_cache_misses();
+  const std::uint64_t and_hits =
+      inv.counters.value(telemetry::Counter::kAndCacheHits);
+  const std::uint64_t and_misses =
+      inv.counters.value(telemetry::Counter::kAndCacheMisses);
+  const std::uint64_t xor_hits =
+      inv.counters.value(telemetry::Counter::kXorCacheHits);
+  const std::uint64_t xor_misses =
+      inv.counters.value(telemetry::Counter::kXorCacheMisses);
+  json.key("invariant_counters");
+  json.begin_object();
+  json.kv("ok", inv.ok);
+  json.kv("duplicate_jobs", inv.duplicate_jobs);
+  json.kv("peak_live", inv.peak_live);
+  json.kv("cache_hits", hits);
+  json.kv("cache_misses", misses);
+  json.kv("cache_hit_rate", rate(hits, misses));
+  json.kv("and_cache_hits", and_hits);
+  json.kv("and_cache_misses", and_misses);
+  json.kv("and_cache_hit_rate", rate(and_hits, and_misses));
+  json.kv("xor_cache_hits", xor_hits);
+  json.kv("xor_cache_misses", xor_misses);
+  json.kv("xor_cache_hit_rate", rate(xor_hits, xor_misses));
+  json.kv("steps", inv.counters.value(telemetry::Counter::kGovernorSteps));
+  json.end_object();
 
   // Dedup on/off comparison at a fixed thread count: harvested frontier
   // calls repeat across traversal steps, so duplicates are real here.

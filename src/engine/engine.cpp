@@ -16,11 +16,13 @@
 #include "analysis/thread_annotations.hpp"
 #include "bdd/bdd.hpp"
 #include "bdd/ops.hpp"
+#include "engine/flight.hpp"
 #include "engine/journal.hpp"
 #include "engine/queue.hpp"
 #include "harness/csv.hpp"
 #include "harness/env.hpp"
 #include "minimize/lower_bound.hpp"
+#include "telemetry/histogram.hpp"
 #include "telemetry/trace.hpp"
 
 namespace bddmin::engine {
@@ -34,6 +36,47 @@ using Clock = std::chrono::steady_clock;
           Clock::now().time_since_epoch())
           .count());
 }
+
+/// Clock read for the utilization accounting: compiled down to a constant
+/// zero when telemetry is off, so the whole busy/steal/sink bookkeeping
+/// folds away and only the plain event counters survive.
+[[nodiscard]] std::uint64_t stat_now_ns() {
+  if constexpr (telemetry::kHistogramsEnabled) {
+    return now_ns();
+  } else {
+    return 0;
+  }
+}
+
+/// Sample the run-queue backlog every this many pops per worker — cheap
+/// (a handful of relaxed loads) but frequent enough that the depth
+/// histogram tracks the drain curve of a thousands-of-jobs batch.
+constexpr std::uint64_t kDepthSampleEvery = 16;
+
+/// One worker's time/event accounting, single writer (the worker), read
+/// by run_batch after the join.  Padded like WorkerStatus so neighbours
+/// never share a line.
+struct alignas(64) WorkerStats {
+  std::uint64_t busy_ns = 0;   ///< inside job attempts
+  std::uint64_t steal_ns = 0;  ///< try_pop time past an own-deque miss
+  std::uint64_t sink_ns = 0;   ///< journal append + delivery
+  std::uint64_t jobs = 0;
+  std::uint64_t steal_attempts = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t pops = 0;  ///< depth-sampler cadence counter
+};
+
+/// The batch-local histogram set.  Workers record wait-free; run_batch
+/// snapshots after the join (deterministically quiescent) into
+/// BatchReport::metrics and merges the snapshots into the process-global
+/// bank so `bddmin_cli stats` sees them.  No-op objects when telemetry
+/// is compiled out.
+struct BatchInstruments {
+  telemetry::Histogram job_latency;
+  telemetry::Histogram job_steps;
+  telemetry::Histogram steal_search;
+  telemetry::Histogram queue_depth;
+};
 
 /// Per-worker slot shared with the watchdog thread.  The worker publishes
 /// a unique epoch per (job, attempt) — start_ns is stored first, then the
@@ -75,15 +118,37 @@ void hang_sleep(std::uint64_t ms, const JobControl& control) {
 }
 
 /// Submission-order result sink.  Each slot is written exactly once, but
-/// the mutex also guards the delivered counter and makes the sink safe to
-/// observe (e.g. for progress) while workers run.
+/// the mutex also guards the delivery tallies and makes the sink safe to
+/// observe (the progress line) while workers run.
 class ResultSink {
  public:
+  /// Running delivery tallies, readable mid-batch (the --progress line).
+  /// `failed` counts kError only; timeouts and resource limits still
+  /// produce usable covers and are not failures.
+  struct Progress {
+    std::size_t delivered = 0;
+    std::size_t ok = 0;
+    std::size_t failed = 0;
+    std::size_t quarantined = 0;
+  };
+
   explicit ResultSink(std::size_t num_jobs) : slots_(num_jobs) {}
 
   void deliver(std::size_t index, JobOutcome outcome) BDDMIN_EXCLUDES(mu_) {
     const std::lock_guard<std::mutex> lock(mu_);
+    ++progress_.delivered;
+    switch (outcome.status) {
+      case JobStatus::kOk: ++progress_.ok; break;
+      case JobStatus::kError: ++progress_.failed; break;
+      case JobStatus::kQuarantined: ++progress_.quarantined; break;
+      default: break;
+    }
     slots_[index] = std::move(outcome);
+  }
+
+  [[nodiscard]] Progress progress() BDDMIN_EXCLUDES(mu_) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return progress_;
   }
 
   [[nodiscard]] std::vector<JobOutcome> take() BDDMIN_EXCLUDES(mu_) {
@@ -94,6 +159,7 @@ class ResultSink {
  private:
   std::mutex mu_;
   std::vector<JobOutcome> slots_ BDDMIN_GUARDED_BY(mu_);
+  Progress progress_ BDDMIN_GUARDED_BY(mu_);
 };
 
 struct WorkerContext {
@@ -103,6 +169,10 @@ struct WorkerContext {
   unsigned worker;
   WorkerStatus* status = nullptr;   ///< watchdog slot; nullptr = no watchdog
   JournalWriter* journal = nullptr; ///< completion records; nullptr = off
+  WorkerStats* stats = nullptr;            ///< utilization accounting
+  FlightRecorder* flight = nullptr;        ///< this worker's event ring
+  const std::string* flight_path = nullptr;///< dump destination ("" = stderr only)
+  BatchInstruments* instruments = nullptr; ///< batch-local histograms
 };
 
 [[nodiscard]] bool cancelled(const EngineOptions& opts) {
@@ -403,8 +473,37 @@ void worker_loop(WorkStealingQueue& queue, std::span<const Job> jobs,
                  ResultSink& sink, const WorkerContext& ctx) {
   // One pooled Manager per worker, reused across jobs via reset().
   std::unique_ptr<Manager> pool;
+  WorkerStats& stats = *ctx.stats;
+  FlightRecorder& flight = *ctx.flight;
   std::size_t index = 0;
-  while (queue.try_pop(ctx.worker, &index)) {
+  for (;;) {
+    WorkStealingQueue::PopOutcome pop;
+    const std::uint64_t pop_start = stat_now_ns();
+    const bool got = queue.try_pop(ctx.worker, &index, &pop);
+    const std::uint64_t pop_ns = stat_now_ns() - pop_start;
+    if (!got) {
+      // The exit sweep scanned every deque and found nothing — by
+      // definition a failed steal search.
+      ++stats.steal_attempts;
+      stats.steal_ns += pop_ns;
+      ctx.instruments->steal_search.record(pop_ns);
+      break;
+    }
+    if (pop.stolen) {
+      ++stats.steal_attempts;
+      ++stats.steals;
+      stats.steal_ns += pop_ns;
+      ctx.instruments->steal_search.record(pop_ns);
+      flight.record(FlightEventType::kSteal,
+                    static_cast<std::uint32_t>(index), 0, 0);
+    }
+    if constexpr (telemetry::kHistogramsEnabled) {
+      if (++stats.pops % kDepthSampleEvery == 0) {
+        const std::size_t depth = queue.approx_depth();
+        ctx.instruments->queue_depth.record(depth);
+        telemetry::trace_counter("queue_depth", "engine", depth);
+      }
+    }
     const telemetry::TraceScope span(std::string("job:") + jobs[index].name,
                                      "engine");
     unsigned attempt = 1;
@@ -421,8 +520,15 @@ void worker_loop(WorkStealingQueue& queue, std::span<const Job> jobs,
         control.abort_signal = &ctx.status->abort_epoch;
         control.epoch = epoch;
       }
+      flight.record(FlightEventType::kJobStart,
+                    static_cast<std::uint32_t>(index),
+                    static_cast<std::uint16_t>(attempt), 0);
+      const std::uint64_t busy_start = stat_now_ns();
       try {
         if (const auto hit = BDDMIN_FAILPOINT("worker_loop_hang")) {
+          flight.record(FlightEventType::kFailpoint,
+                        static_cast<std::uint32_t>(index),
+                        static_cast<std::uint16_t>(attempt), 0);
           hang_sleep(hit.value, control);
         }
         outcome = process_job(jobs[index], ctx, pool, control);
@@ -451,6 +557,11 @@ void worker_loop(WorkStealingQueue& queue, std::span<const Job> jobs,
         // drop it rather than reuse a possibly inconsistent instance.
         pool.reset();
       }
+      stats.busy_ns += stat_now_ns() - busy_start;
+      flight.record(FlightEventType::kJobFinish,
+                    static_cast<std::uint32_t>(index),
+                    static_cast<std::uint16_t>(attempt),
+                    static_cast<std::uint8_t>(outcome.status));
       if (ctx.status != nullptr) {
         ctx.status->epoch.store(0, std::memory_order_release);  // idle
       }
@@ -458,15 +569,46 @@ void worker_loop(WorkStealingQueue& queue, std::span<const Job> jobs,
       const std::string reason = retry_class(outcome, *ctx.opts);
       if (!reason.empty() && attempt <= ctx.opts->max_retries) {
         if (first_retry_reason.empty()) first_retry_reason = reason;
-        backoff_sleep(*ctx.opts, index, attempt);
+        flight.record(FlightEventType::kRetry,
+                      static_cast<std::uint32_t>(index),
+                      static_cast<std::uint16_t>(attempt),
+                      static_cast<std::uint8_t>(outcome.status));
+        backoff_sleep(*ctx.opts, index, attempt);  // idle, not busy
         ++attempt;
         continue;  // fresh attempt, fresh JobOutcome
       }
 
       outcome.attempts = attempt;
       outcome.retry_reason = first_retry_reason;
+      ++stats.jobs;
+      if constexpr (telemetry::kHistogramsEnabled) {
+        const auto latency_ns =
+            static_cast<std::uint64_t>(outcome.seconds * 1e9);
+        telemetry::histograms()
+            .job_latency(static_cast<unsigned>(outcome.status), attempt)
+            .record(latency_ns);
+        ctx.instruments->job_latency.record(latency_ns);
+        ctx.instruments->job_steps.record(
+            outcome.counters.value(telemetry::Counter::kGovernorSteps));
+      }
+      if (outcome.status == JobStatus::kQuarantined) {
+        // Black-box moment: capture what this worker was doing around
+        // the quarantine while the ring still holds it.
+        flight.record(FlightEventType::kQuarantine,
+                      static_cast<std::uint32_t>(index),
+                      static_cast<std::uint16_t>(attempt),
+                      static_cast<std::uint8_t>(outcome.attempts));
+        std::string text;
+        flight.dump(&text, ctx.worker, "job quarantined");
+        flight_write_dump(text, ctx.flight_path != nullptr ? *ctx.flight_path
+                                                           : std::string());
+      }
+      const std::uint64_t sink_start = stat_now_ns();
       if (const auto hit = BDDMIN_FAILPOINT("sink_drain_hang")) {
         // Bounded stall in the delivery path (lock *not* held).
+        flight.record(FlightEventType::kFailpoint,
+                      static_cast<std::uint32_t>(index),
+                      static_cast<std::uint16_t>(attempt), 1);
         std::this_thread::sleep_for(std::chrono::milliseconds(hit.value));
       }
       // Journal before the sink: once an outcome is observable it is
@@ -476,9 +618,27 @@ void worker_loop(WorkStealingQueue& queue, std::span<const Job> jobs,
         ctx.journal->append_completed(index, outcome);
       }
       sink.deliver(index, std::move(outcome));
+      stats.sink_ns += stat_now_ns() - sink_start;
       break;
     }
   }
+}
+
+/// ETA rendering for the progress line: "1h02m", "4m32s", "17s", or
+/// "--" when no estimate exists (nothing delivered yet, or absurd).
+std::string format_eta(double seconds) {
+  if (!(seconds >= 0.0) || seconds > 86'400.0 * 9) return "--";
+  const auto total = static_cast<unsigned long long>(seconds + 0.5);
+  char buf[32];
+  if (total >= 3600) {
+    std::snprintf(buf, sizeof buf, "%lluh%02llum", total / 3600,
+                  (total % 3600) / 60);
+  } else if (total >= 60) {
+    std::snprintf(buf, sizeof buf, "%llum%02llus", total / 60, total % 60);
+  } else {
+    std::snprintf(buf, sizeof buf, "%llus", total);
+  }
+  return buf;
 }
 
 /// Content key for payload dedup: everything decode_job reads (kind,
@@ -619,6 +779,13 @@ BatchReport run_batch(std::span<const Job> jobs, const EngineOptions& opts) {
   for (std::size_t k = 0; k < to_run.size(); ++k) {
     queue.push(k % threads, to_run[k]);
   }
+  BatchInstruments instruments;
+  if constexpr (telemetry::kHistogramsEnabled) {
+    // Anchor the depth histogram with the fully seeded backlog so the
+    // drain curve has a defined starting point even for tiny batches.
+    instruments.queue_depth.record(to_run.size());
+    telemetry::trace_counter("queue_depth", "engine", to_run.size());
+  }
   ResultSink sink(jobs.size());
   if (resume != nullptr) {
     const std::size_t n = std::min(jobs.size(), resume->completed.size());
@@ -630,6 +797,11 @@ BatchReport run_batch(std::span<const Job> jobs, const EngineOptions& opts) {
   }
 
   std::vector<WorkerStatus> wstatus(threads);
+  std::vector<WorkerStats> wstats(threads);
+  std::vector<FlightRecorder> flights(threads);
+  const std::string flight_path =
+      effective.journal_path.empty() ? std::string()
+                                     : effective.journal_path + ".flight";
   std::atomic<bool> watchdog_stop{false};
   std::thread watchdog;
   if (effective.hang_timeout_seconds > 0.0) {
@@ -661,6 +833,42 @@ BatchReport run_batch(std::span<const Job> jobs, const EngineOptions& opts) {
       }
     });
   }
+  // Progress reporter: one self-overwriting stderr line off the sink's
+  // tallies.  Reads only, so it can run for the whole batch; the final
+  // summary line is printed by the main thread after the duplicates are
+  // filled (the reporter never sees those — they bypass the sink).
+  std::atomic<bool> progress_stop{false};
+  std::thread progress;
+  if (effective.progress) {
+    const std::size_t total = jobs.size();
+    progress = std::thread([&sink, &progress_stop, total, start] {
+      const std::size_t baseline = sink.progress().delivered;  // resumed jobs
+      for (;;) {
+        // 500 ms refresh cadence, polling the stop flag often enough
+        // that shutdown never waits on the reporter.
+        for (int i = 0; i < 10; ++i) {
+          if (progress_stop.load(std::memory_order_relaxed)) return;
+          std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        }
+        const ResultSink::Progress p = sink.progress();
+        const double elapsed =
+            std::chrono::duration<double>(Clock::now() - start).count();
+        const double rate =
+            elapsed > 0.0
+                ? static_cast<double>(p.delivered - baseline) / elapsed
+                : 0.0;
+        const double eta =
+            rate > 0.0 ? static_cast<double>(total - p.delivered) / rate
+                       : -1.0;
+        std::fprintf(stderr,
+                     "\r[batch] %zu/%zu ok=%zu fail=%zu quarantined=%zu "
+                     "%.1f jobs/s eta %s   ",
+                     p.delivered, total, p.ok, p.failed, p.quarantined, rate,
+                     format_eta(eta).c_str());
+        std::fflush(stderr);
+      }
+    });
+  }
   {
     const telemetry::TraceScope batch_span("run_batch", "engine");
     std::vector<std::thread> pool;
@@ -668,17 +876,33 @@ BatchReport run_batch(std::span<const Job> jobs, const EngineOptions& opts) {
     for (unsigned w = 0; w < threads; ++w) {
       pool.emplace_back([&, w] {
         telemetry::Tracer::set_thread_name("worker-" + std::to_string(w));
+        // Register the ring for fatal-failpoint dumps (journal commit
+        // aborts dump the dying worker's ring before _Exit).
+        set_thread_flight_recorder(&flights[w], w, &flight_path);
         const WorkerContext ctx{
             &effective, &heuristics, fallback, w,
             effective.hang_timeout_seconds > 0.0 ? &wstatus[w] : nullptr,
-            journal.get()};
+            journal.get(), &wstats[w], &flights[w], &flight_path,
+            &instruments};
         worker_loop(queue, jobs, sink, ctx);
+        set_thread_flight_recorder(nullptr, 0, nullptr);
       });
     }
     for (std::thread& t : pool) t.join();
   }
   watchdog_stop.store(true, std::memory_order_relaxed);
   if (watchdog.joinable()) watchdog.join();
+  // Operator-requested dump: every worker's ring, after the join (the
+  // only point where cross-thread ring reads are race-free).
+  if (harness::env_u64("BDDMIN_FLIGHT_DUMP", 0) != 0) {
+    std::string text;
+    for (unsigned w = 0; w < threads; ++w) {
+      if (flights[w].total_recorded() > 0) {
+        flights[w].dump(&text, w, "BDDMIN_FLIGHT_DUMP");
+      }
+    }
+    if (!text.empty()) flight_write_dump(text, flight_path);
+  }
   report.outcomes = sink.take();
   // Fill each duplicate from its representative, keeping the duplicate's
   // own name.  Outcomes are pure functions of the payload, so every other
@@ -697,6 +921,47 @@ BatchReport run_batch(std::span<const Job> jobs, const EngineOptions& opts) {
   }
   report.wall_seconds =
       std::chrono::duration<double>(Clock::now() - start).count();
+  if (effective.progress) {
+    progress_stop.store(true, std::memory_order_relaxed);
+    progress.join();
+    std::fprintf(stderr,
+                 "\r[batch] %zu/%zu ok=%zu fail=%zu quarantined=%zu done in "
+                 "%.1fs          \n",
+                 report.outcomes.size(), jobs.size(),
+                 report.count(JobStatus::kOk), report.count(JobStatus::kError),
+                 report.count(JobStatus::kQuarantined), report.wall_seconds);
+    std::fflush(stderr);
+  }
+
+  // Assemble the run's observability block: batch-local histogram
+  // snapshots (merged into the process-global bank for `stats`) and the
+  // per-worker utilization table.  Idle is the wall-time remainder, so
+  // per worker busy + steal + sink + idle ≈ wall by construction.
+  BatchMetrics& metrics = report.metrics;
+  metrics.job_latency_ns = instruments.job_latency.snapshot();
+  metrics.job_steps = instruments.job_steps.snapshot();
+  metrics.steal_search_ns = instruments.steal_search.snapshot();
+  metrics.queue_depth = instruments.queue_depth.snapshot();
+  telemetry::histograms().job_steps().merge(metrics.job_steps);
+  telemetry::histograms().steal_search_ns().merge(metrics.steal_search_ns);
+  telemetry::histograms().queue_depth().merge(metrics.queue_depth);
+  metrics.workers.reserve(threads);
+  for (unsigned w = 0; w < threads; ++w) {
+    const WorkerStats& s = wstats[w];
+    WorkerUtilization u;
+    u.worker = w;
+    u.busy_seconds = static_cast<double>(s.busy_ns) / 1e9;
+    u.steal_seconds = static_cast<double>(s.steal_ns) / 1e9;
+    u.sink_seconds = static_cast<double>(s.sink_ns) / 1e9;
+    u.idle_seconds = std::max(0.0, report.wall_seconds - u.busy_seconds -
+                                       u.steal_seconds - u.sink_seconds);
+    u.jobs = s.jobs;
+    u.steal_attempts = s.steal_attempts;
+    u.steals = s.steals;
+    metrics.steal_attempts += s.steal_attempts;
+    metrics.steals += s.steals;
+    metrics.workers.push_back(u);
+  }
   return report;
 }
 

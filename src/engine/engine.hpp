@@ -66,6 +66,7 @@
 #include "engine/job.hpp"
 #include "minimize/registry.hpp"
 #include "telemetry/counters.hpp"
+#include "telemetry/histogram.hpp"
 #include "telemetry/profile.hpp"
 
 namespace bddmin::engine {
@@ -160,6 +161,13 @@ struct EngineOptions {
   /// outcome are pre-filled and not re-run; pass the same `journal_path`
   /// to keep appending completion records for the jobs that do run.
   const JournalContents* resume = nullptr;
+  /// Emit a single self-overwriting progress line on stderr, refreshed at
+  /// most every 500 ms (jobs done/total, ok/fail/quarantined tallies,
+  /// throughput, ETA), fed by the result sink's counters.  The engine
+  /// honours the flag unconditionally; the CLI only sets it when stderr
+  /// is a terminal (or BDDMIN_PROGRESS=1 forces it), so redirected runs
+  /// stay clean.  Never written to stdout or the CSV.
+  bool progress = false;
 };
 
 struct HeuristicResult {
@@ -208,6 +216,40 @@ struct JobOutcome {
   std::string retry_reason;
 };
 
+/// Wall-clock decomposition of one worker's life inside a batch: every
+/// nanosecond between spawn and join is attributed to exactly one of
+/// busy (inside a job attempt), steal-search (hunting other deques after
+/// missing its own), sink (journal append + result delivery) or idle
+/// (everything else: retry backoff, waiting out the drain).  Busy, steal
+/// and sink are measured with the monotonic clock; idle is the
+/// remainder against the batch wall time, clamped at zero.  All seconds
+/// are zero when telemetry is compiled out; the event counts survive.
+struct WorkerUtilization {
+  unsigned worker = 0;
+  double busy_seconds = 0.0;
+  double steal_seconds = 0.0;
+  double sink_seconds = 0.0;
+  double idle_seconds = 0.0;
+  std::uint64_t jobs = 0;           ///< jobs this worker finished
+  std::uint64_t steal_attempts = 0; ///< sweeps past its own (empty) deque
+  std::uint64_t steals = 0;         ///< sweeps that yielded an item
+};
+
+/// Distribution-level observability for one batch run: latency/steal/
+/// queue-depth histograms (also merged into the process-global bank for
+/// `bddmin_cli stats`) and the per-worker utilization table.  All
+/// wall-clock derived, hence outside the determinism contract; empty /
+/// zero when telemetry is compiled out.
+struct BatchMetrics {
+  telemetry::HistogramSnapshot job_latency_ns;   ///< final outcomes only
+  telemetry::HistogramSnapshot job_steps;        ///< governor steps per job
+  telemetry::HistogramSnapshot steal_search_ns;  ///< per own-deque miss
+  telemetry::HistogramSnapshot queue_depth;      ///< sampled backlog
+  std::vector<WorkerUtilization> workers;
+  std::uint64_t steal_attempts = 0;  ///< totals over workers
+  std::uint64_t steals = 0;
+};
+
 struct BatchReport {
   std::vector<std::string> names;     ///< heuristic names (column order)
   std::vector<JobOutcome> outcomes;   ///< submission order, always complete
@@ -216,6 +258,9 @@ struct BatchReport {
   /// outcome instead of being re-minimized (0 when dedup_jobs is off).
   std::size_t duplicate_jobs = 0;
   double wall_seconds = 0.0;
+  /// Scheduler observability for this run (see BatchMetrics).  Never
+  /// feeds the CSV, so the byte-determinism contract is untouched.
+  BatchMetrics metrics;
 
   [[nodiscard]] std::size_t count(JobStatus s) const noexcept;
 };

@@ -1,0 +1,106 @@
+#include "engine/flight.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "telemetry/trace.hpp"
+
+namespace bddmin::engine {
+namespace {
+
+std::uint64_t steady_now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Thread-local fatal-dump registration (see set_thread_flight_recorder).
+struct ThreadFlight {
+  FlightRecorder* rec = nullptr;
+  unsigned worker = 0;
+  const std::string* dump_path = nullptr;
+};
+thread_local ThreadFlight t_flight;
+
+}  // namespace
+
+const char* flight_event_name(FlightEventType t) noexcept {
+  switch (t) {
+    case FlightEventType::kJobStart: return "job_start";
+    case FlightEventType::kJobFinish: return "job_finish";
+    case FlightEventType::kSteal: return "steal";
+    case FlightEventType::kRetry: return "retry";
+    case FlightEventType::kQuarantine: return "quarantine";
+    case FlightEventType::kFailpoint: return "failpoint";
+  }
+  return "?";
+}
+
+void FlightRecorder::record(FlightEventType type, std::uint32_t job,
+                            std::uint16_t attempt,
+                            std::uint8_t code) noexcept {
+  FlightEvent& slot = ring_[total_ % kCapacity];
+  slot.ts_ns = steady_now_ns();
+  slot.job = job;
+  slot.attempt = attempt;
+  slot.type = type;
+  slot.code = code;
+  ++total_;
+}
+
+void FlightRecorder::dump(std::string* out, unsigned worker,
+                          const char* reason) const {
+  char line[160];
+  std::snprintf(line, sizeof line,
+                "=== bddmin flight recorder: worker %u (reason: %s, %llu "
+                "events, last %zu) ===\n",
+                worker, reason,
+                static_cast<unsigned long long>(total_),
+                std::min<std::size_t>(total_, kCapacity));
+  *out += line;
+  const std::size_t kept = std::min<std::size_t>(total_, kCapacity);
+  const std::size_t first = total_ - kept;  // index of oldest retained event
+  std::uint64_t epoch = 0;
+  if (kept > 0) epoch = ring_[first % kCapacity].ts_ns;
+  for (std::size_t i = first; i < total_; ++i) {
+    const FlightEvent& ev = ring_[i % kCapacity];
+    const double rel =
+        static_cast<double>(ev.ts_ns - epoch) / 1e9;  // monotone within ring
+    std::snprintf(line, sizeof line,
+                  "  +%11.6fs %-10s job=%u attempt=%u code=%u\n", rel,
+                  flight_event_name(ev.type), ev.job, ev.attempt, ev.code);
+    *out += line;
+  }
+  *out += "=== end flight recorder ===\n";
+}
+
+void flight_write_dump(const std::string& text, const std::string& path) {
+  std::fwrite(text.data(), 1, text.size(), stderr);
+  std::fflush(stderr);
+  if (!path.empty()) {
+    if (std::FILE* f = std::fopen(path.c_str(), "a")) {
+      std::fwrite(text.data(), 1, text.size(), f);
+      std::fclose(f);
+    }
+  }
+  telemetry::trace_instant("flight_dump", "engine");
+}
+
+void set_thread_flight_recorder(FlightRecorder* rec, unsigned worker,
+                                const std::string* dump_path) noexcept {
+  t_flight.rec = rec;
+  t_flight.worker = worker;
+  t_flight.dump_path = dump_path;
+}
+
+void flight_fatal_dump(const char* reason) {
+  if (t_flight.rec == nullptr) return;
+  std::string text;
+  t_flight.rec->dump(&text, t_flight.worker, reason);
+  flight_write_dump(text,
+                    t_flight.dump_path != nullptr ? *t_flight.dump_path : "");
+}
+
+}  // namespace bddmin::engine

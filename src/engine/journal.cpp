@@ -8,6 +8,7 @@
 #include <fstream>
 
 #include "analysis/failpoint.hpp"
+#include "engine/flight.hpp"
 
 namespace bddmin::engine {
 namespace {
@@ -311,8 +312,11 @@ void JournalWriter::append_submitted(std::size_t index, const Job& job) {
 void JournalWriter::append_completed(std::size_t index,
                                      const JobOutcome& outcome) {
   // The crash the resume path must heal: die *before* the completion
-  // record reaches the journal, so the job re-runs on resume.
+  // record reaches the journal, so the job re-runs on resume.  The
+  // worker's flight recorder is dumped first — this is exactly the
+  // "fatal failpoint" moment the ring exists for.
   if (const auto hit = BDDMIN_FAILPOINT("journal_commit_abort")) {
+    flight_fatal_dump("journal_commit_abort");
     std::_Exit(static_cast<int>(hit.value));
   }
   append_record('C', index, encode_outcome_record(outcome));

@@ -18,6 +18,7 @@
 #include "bdd/truth_table.hpp"
 #include "engine/queue.hpp"
 #include "minimize/sibling.hpp"
+#include "telemetry/histogram.hpp"
 #include "workload/instances.hpp"
 
 namespace bddmin::engine {
@@ -327,6 +328,70 @@ TEST(BatchEngine, PooledManagersKeepCsvByteIdenticalAcrossThreadCounts) {
       EXPECT_EQ(csv, baseline) << "thread count " << threads;
     }
   }
+}
+
+TEST(BatchMetricsTable, UtilizationTotalsMatchWallTimePerWorker) {
+  if (!telemetry::kHistogramsEnabled) GTEST_SKIP() << "telemetry compiled out";
+  const std::vector<Job> jobs = mixed_jobs();
+  EngineOptions opts;
+  opts.num_threads = 4;
+  const BatchReport report = run_batch(jobs, opts);
+  ASSERT_EQ(report.metrics.workers.size(), 4u);
+  std::uint64_t total_jobs = 0;
+  for (const WorkerUtilization& w : report.metrics.workers) {
+    // idle is defined as max(0, wall - busy - steal - sink), so the four
+    // states always tile exactly max(wall, busy + steal + sink).
+    const double active = w.busy_seconds + w.steal_seconds + w.sink_seconds;
+    const double sum = active + w.idle_seconds;
+    EXPECT_NEAR(sum, std::max(report.wall_seconds, active),
+                1e-9 * std::max(1.0, sum))
+        << "worker " << w.worker;
+    EXPECT_GE(w.busy_seconds, 0.0);
+    EXPECT_GE(w.idle_seconds, 0.0);
+    EXPECT_GE(w.steal_attempts, w.steals) << "worker " << w.worker;
+    total_jobs += w.jobs;
+  }
+  // Every non-duplicate job was finished by exactly one worker.
+  EXPECT_EQ(total_jobs, report.outcomes.size() - report.duplicate_jobs);
+  EXPECT_EQ(report.metrics.job_latency_ns.count, total_jobs);
+  EXPECT_EQ(report.metrics.job_steps.count, total_jobs);
+  // The seeded-backlog anchor guarantees at least one depth sample.
+  EXPECT_GE(report.metrics.queue_depth.count, 1u);
+  EXPECT_GE(report.metrics.job_latency_ns.quantile(0.99),
+            report.metrics.job_latency_ns.quantile(0.50));
+}
+
+TEST(BatchMetricsTable, SingleThreadNeverSteals) {
+  if (!telemetry::kHistogramsEnabled) GTEST_SKIP() << "telemetry compiled out";
+  const BatchReport report = run_batch(random_jobs(4, 6, 0.4, 777), {});
+  ASSERT_EQ(report.metrics.workers.size(), 1u);
+  EXPECT_EQ(report.metrics.steals, 0u);
+  EXPECT_EQ(report.metrics.workers[0].steals, 0u);
+  EXPECT_EQ(report.metrics.workers[0].jobs, report.outcomes.size());
+}
+
+TEST(BatchEngine, ProgressLineNeverTouchesStdoutOrCsv) {
+  const std::vector<Job> jobs = random_jobs(5, 6, 0.4, 1357);
+  EngineOptions opts;
+  opts.num_threads = 2;
+  opts.progress = true;  // force on, bypassing the CLI's TTY gate
+  testing::internal::CaptureStdout();
+  testing::internal::CaptureStderr();
+  const BatchReport report = run_batch(jobs, opts);
+  const std::string csv =
+      report_csv(report, /*include_timings=*/false, /*include_counters=*/true);
+  const std::string out = testing::internal::GetCapturedStdout();
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_TRUE(out.empty()) << "progress leaked to stdout: " << out;
+  EXPECT_NE(err.find("[batch] 5/5"), std::string::npos) << err;
+  EXPECT_NE(err.find("done in"), std::string::npos) << err;
+  EXPECT_EQ(csv.find("[batch]"), std::string::npos);
+  EXPECT_EQ(csv.find('\r'), std::string::npos);
+  // Byte-identical to a run with the reporter off: progress is pure
+  // side-channel.
+  opts.progress = false;
+  EXPECT_EQ(csv, report_csv(run_batch(jobs, opts), false,
+                            /*include_counters=*/true));
 }
 
 TEST(BatchEngine, TimingColumnsAreOptIn) {

@@ -4,7 +4,10 @@
 /// retry/backoff accounting, watchdog quarantine, audit-clean recovery.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -258,6 +261,42 @@ TEST_F(FailPointTest, WatchdogQuarantinesAHungJobWithoutRetries) {
       EXPECT_NE(o.detail.find("watchdog"), std::string::npos) << o.detail;
     }
   }
+}
+
+TEST_F(FailPointTest, QuarantineDumpsTheFlightRecorder) {
+  // A quarantined job must leave a black-box trail: the worker's flight
+  // recorder dumped to stderr and appended to `<journal>.flight`.
+  const std::string journal =
+      ::testing::TempDir() + "bddmin_flight_quarantine.journal";
+  std::remove(journal.c_str());
+  const std::string flight = journal + ".flight";
+  std::remove(flight.c_str());
+
+  const std::vector<engine::Job> jobs = small_jobs(2);
+  engine::EngineOptions eo;
+  eo.heuristic = "restr";
+  eo.num_threads = 1;
+  eo.hang_timeout_seconds = 0.05;
+  eo.journal_path = journal;
+  failpoints().arm_from_spec("worker_loop_hang:once:2000");
+  ::testing::internal::CaptureStderr();
+  const engine::BatchReport rep = engine::run_batch(jobs, eo);
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  ASSERT_EQ(rep.count(engine::JobStatus::kQuarantined), 1u);
+
+  EXPECT_NE(err.find("flight recorder"), std::string::npos) << err;
+  EXPECT_NE(err.find("job quarantined"), std::string::npos) << err;
+
+  std::ifstream in(flight);
+  ASSERT_TRUE(in.good()) << "no flight dump file at " << flight;
+  std::stringstream body;
+  body << in.rdbuf();
+  EXPECT_NE(body.str().find("flight recorder"), std::string::npos);
+  EXPECT_NE(body.str().find("quarantine"), std::string::npos);
+  // The ring held real scheduler history, not just the terminal event.
+  EXPECT_NE(body.str().find("job_start"), std::string::npos) << body.str();
+  std::remove(flight.c_str());
+  std::remove(journal.c_str());
 }
 
 TEST_F(FailPointTest, WatchdogPlusRetryRecoversTheHungJob) {

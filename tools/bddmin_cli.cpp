@@ -37,6 +37,7 @@
 ///                  [--fallback-heuristic NAME] [--csv PATH] [--timings]
 ///                  [--max-retries N] [--backoff-ms N] [--hang-timeout-ms N]
 ///                  [--attempts] [--journal PATH] [--resume]
+///                  [--progress] [--metrics PATH]
 ///     Shard a set of minimization jobs across a worker pool (each worker
 ///     owns a private manager) and print the per-status summary plus a
 ///     submission-order CSV report.  Jobs come from the PLA's output
@@ -57,6 +58,15 @@
 ///     keeps a checksummed write-ahead journal of the batch; after a
 ///     crash, `--journal PATH --resume` re-runs only the incomplete jobs
 ///     and produces a CSV byte-identical to an uninterrupted run.
+///     Observability (docs/OBSERVABILITY.md): --progress keeps a single
+///     self-overwriting status line on stderr (done/total, ok/fail/
+///     quarantined, jobs/s, ETA), refreshed at most every 500 ms; it is
+///     suppressed when stderr is not a terminal (BDDMIN_PROGRESS=1
+///     forces it on) and never touches stdout or the CSV.  --metrics
+///     PATH writes the run's scheduler metrics — p50/p90/p99 job
+///     latency, per-worker busy/steal/sink/idle decomposition, steal
+///     success rate, sampled queue depth — as JSON for
+///     tools/scaling_report.py.
 ///
 /// bddmin_cli failpoints [--describe]
 ///     List the registered fault-injection points (one name per line, for
@@ -68,7 +78,9 @@
 ///     Run the same batch as `batch` (all flags accepted) and print the
 ///     process-wide telemetry counters as Prometheus text exposition —
 ///     unique-table inserts/hits, computed-cache hits/misses per op
-///     class, GC work, sift swaps and governor steps.  Set
+///     class, GC work, sift swaps and governor steps — followed by the
+///     histogram families (job latency by outcome/attempt, governor
+///     steps, steal-search latency, queue depth).  Set
 ///     BDDMIN_TRACE=<file> to also capture a Chrome trace of the run.
 ///
 /// bddmin_cli stress [--workload NAME] [--seed S] [--threads T]
@@ -92,6 +104,8 @@
 /// not reproduce); 4 no errors but some jobs degraded (resource-limit,
 /// timeout, cancelled or quarantined); 1 usage / I/O problems.
 /// ```
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -113,13 +127,16 @@
 #include "fsm/equiv.hpp"
 #include "fsm/kiss.hpp"
 #include "harness/csv.hpp"
+#include "harness/env.hpp"
 #include "harness/intercept.hpp"
+#include "harness/json.hpp"
 #include "harness/render.hpp"
 #include "minimize/registry.hpp"
 #include "pla/pla.hpp"
 #include "stress/runner.hpp"
 #include "stress/workloads.hpp"
 #include "telemetry/counters.hpp"
+#include "telemetry/histogram.hpp"
 
 namespace {
 
@@ -424,6 +441,62 @@ engine::EngineOptions batch_options(int argc, char** argv) {
   return opts;
 }
 
+/// One histogram summary object for the --metrics JSON: count/sum plus
+/// the deterministic nearest-rank percentiles and the max bucket bound.
+void metrics_histogram(harness::JsonWriter& w, const std::string& name,
+                       const telemetry::HistogramSnapshot& s) {
+  w.key(name).begin_object();
+  w.kv("count", s.count);
+  w.kv("sum", s.sum);
+  w.kv("mean", s.mean());
+  w.kv("p50", s.quantile(0.50));
+  w.kv("p90", s.quantile(0.90));
+  w.kv("p99", s.quantile(0.99));
+  w.kv("max", s.max_bound());
+  w.end_object();
+}
+
+/// The scheduler-metrics JSON consumed by tools/scaling_report.py:
+/// latency/steps/steal/queue-depth histogram summaries, steal totals and
+/// the per-worker busy/steal/sink/idle decomposition.
+std::string metrics_json(const engine::BatchReport& report) {
+  const engine::BatchMetrics& m = report.metrics;
+  harness::JsonWriter w;
+  w.begin_object();
+  w.kv("schema_version", 1);
+  w.kv("telemetry_enabled", telemetry::kHistogramsEnabled);
+  w.kv("threads", report.num_threads);
+  w.kv("jobs", static_cast<std::uint64_t>(report.outcomes.size()));
+  w.kv("wall_seconds", report.wall_seconds);
+  metrics_histogram(w, "job_latency_ns", m.job_latency_ns);
+  metrics_histogram(w, "job_steps", m.job_steps);
+  metrics_histogram(w, "steal_search_ns", m.steal_search_ns);
+  metrics_histogram(w, "queue_depth", m.queue_depth);
+  w.kv("steal_attempts", m.steal_attempts);
+  w.kv("steals", m.steals);
+  w.kv("steal_success_rate",
+       m.steal_attempts == 0
+           ? 0.0
+           : static_cast<double>(m.steals) /
+                 static_cast<double>(m.steal_attempts));
+  w.key("workers").begin_array();
+  for (const engine::WorkerUtilization& u : m.workers) {
+    w.begin_object();
+    w.kv("worker", u.worker);
+    w.kv("busy_seconds", u.busy_seconds);
+    w.kv("steal_seconds", u.steal_seconds);
+    w.kv("sink_seconds", u.sink_seconds);
+    w.kv("idle_seconds", u.idle_seconds);
+    w.kv("jobs", u.jobs);
+    w.kv("steal_attempts", u.steal_attempts);
+    w.kv("steals", u.steals);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
 int batch_exit_code(const engine::BatchReport& report) {
   // 0: every job clean.  3: at least one genuine bug.  4: no bugs, but
   // some jobs degraded (resource-limit / timeout / cancelled /
@@ -455,6 +528,13 @@ int cmd_batch(int argc, char** argv) {
     jobs = batch_jobs(argc, argv);
   }
   if (journal_path != nullptr) opts.journal_path = journal_path;
+  if (has_flag(argc, argv, "--progress")) {
+    // TTY policy lives here, not in the engine: a redirected stderr gets
+    // no control-character churn unless BDDMIN_PROGRESS=1 forces it
+    // (which is also how the tests capture the line).
+    opts.progress = isatty(fileno(stderr)) != 0 ||
+                    harness::env_u64("BDDMIN_PROGRESS", 0) != 0;
+  }
   const engine::BatchReport report = engine::run_batch(jobs, opts);
   std::size_t total_f = 0;
   std::size_t total_min = 0;
@@ -492,16 +572,27 @@ int cmd_batch(int argc, char** argv) {
   } else {
     std::printf("%s", csv.c_str());
   }
+  if (const char* path = flag_value(argc, argv, "--metrics")) {
+    if (!harness::write_text_file(path, metrics_json(report))) {
+      std::fprintf(stderr, "cannot write %s\n", path);
+      return 1;
+    }
+    std::printf("metrics written to %s\n", path);
+  }
   return batch_exit_code(report);
 }
 
 int cmd_stats(int argc, char** argv) {
   const std::vector<engine::Job> jobs = batch_jobs(argc, argv);
   const engine::EngineOptions opts = batch_options(argc, argv);
-  telemetry::global().reset();  // expose only this batch's work
+  telemetry::global().reset();      // expose only this batch's work
+  telemetry::histograms().reset();  // same for the histogram bank
   const engine::BatchReport report = engine::run_batch(jobs, opts);
   std::printf("%s",
               telemetry::prometheus_text(telemetry::global().snapshot()).c_str());
+  std::printf("%s",
+              telemetry::histogram_prometheus_text(telemetry::histograms())
+                  .c_str());
   return batch_exit_code(report);
 }
 
@@ -635,9 +726,10 @@ int main(int argc, char** argv) {
                " [--csv PATH] [--timings] [--counters]\n"
                "                   [--max-retries N] [--backoff-ms N]"
                " [--hang-timeout-ms N] [--attempts]\n"
-               "                   [--journal PATH] [--resume]\n"
+               "                   [--journal PATH] [--resume] [--progress]"
+               " [--metrics PATH]\n"
                "  bddmin_cli stats [batch flags]  (prints Prometheus-style"
-               " telemetry counters)\n"
+               " telemetry counters + histograms)\n"
                "  bddmin_cli failpoints [--describe]  (lists the registered"
                " fault-injection points)\n"
                "  bddmin_cli stress [--workload NAME] [--seed S]"

@@ -1,0 +1,351 @@
+#!/usr/bin/env python3
+"""Diagnose batch-engine scaling from a Chrome trace plus metrics JSON.
+
+Consumes the artifacts one traced batch run produces:
+
+  * a Chrome trace (BDDMIN_TRACE=trace.json, validated by check_trace.py),
+    whose worker tracks ("worker-0", "worker-1", ...) carry one "job:*"
+    span per job attempt and whose "run_batch" span bounds the batch;
+  * optionally one or more --metrics files (bddmin_cli batch --metrics
+    PATH), for the per-worker busy/steal/sink/idle decomposition, steal
+    success rate and latency percentiles — given several (one per thread
+    count), the report compares them;
+  * optionally --bench BENCH_batch.json (schema_version 2), for the
+    measured speedup curve and the host's hardware_concurrency.
+
+And emits a scaling diagnosis (stdout, plain text):
+
+  * per-worker busy fraction over the run_batch window,
+  * the measured serial fraction (wall time with <= 1 worker inside a
+    job span) with an Amdahl fit: predicted vs actual speedup per
+    thread count,
+  * steal attempt/success stats and sampled queue-depth range,
+  * the top-k longest serial sections with the job that was running,
+  * a named bottleneck consistent with the numbers — CPU
+    oversubscription, measured serial fraction, worker starvation
+    (dominant idle/steal state) or scheduler overhead.
+
+Stdlib only, mirroring check_trace.py.  Exit 0 on success (a diagnosis
+was produced), 1 on unreadable/malformed input.
+"""
+import argparse
+import json
+import sys
+
+
+def fail(msg: str) -> int:
+    print(f"scaling_report: {msg}", file=sys.stderr)
+    return 1
+
+
+def load_json(path: str):
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def worker_tracks(events):
+    """Map (pid, tid) -> worker name for tracks named worker-*."""
+    tracks = {}
+    for ev in events:
+        if (ev.get("ph") == "M" and ev.get("name") == "thread_name"
+                and str(ev.get("args", {}).get("name", ""))
+                .startswith("worker-")):
+            tracks[(ev.get("pid"), ev.get("tid"))] = ev["args"]["name"]
+    return tracks
+
+
+def batch_window(events):
+    """The [start, end) of the outermost run_batch span (us)."""
+    best = None
+    for ev in events:
+        if ev.get("ph") == "X" and ev.get("name") == "run_batch":
+            start = float(ev["ts"])
+            end = start + float(ev.get("dur", 0))
+            if best is None or end - start > best[1] - best[0]:
+                best = (start, end)
+    return best
+
+
+def busy_intervals(events, tracks, window):
+    """Top-level job spans per worker, clipped to the batch window."""
+    spans = {name: [] for name in tracks.values()}
+    for ev in events:
+        track = (ev.get("pid"), ev.get("tid"))
+        if (ev.get("ph") != "X" or track not in tracks
+                or not str(ev.get("name", "")).startswith("job:")):
+            continue
+        start = float(ev["ts"])
+        end = start + float(ev.get("dur", 0))
+        if window:
+            start = max(start, window[0])
+            end = min(end, window[1])
+        if end > start:
+            spans[tracks[track]].append((start, end, ev["name"][4:]))
+    # Nested retries of one job produce nested job spans; merging per
+    # worker keeps each instant counted once.
+    merged = {}
+    for name, ivs in spans.items():
+        ivs.sort()
+        out = []
+        for start, end, job in ivs:
+            if out and start <= out[-1][1]:
+                out[-1] = (out[-1][0], max(out[-1][1], end), out[-1][2])
+            else:
+                out.append((start, end, job))
+        merged[name] = out
+    return merged
+
+
+def concurrency_sweep(merged, window):
+    """Time spent at each busy-worker concurrency level, plus the serial
+    sections (concurrency <= 1) annotated with the running job."""
+    points = []  # (ts, +1/-1, job)
+    for ivs in merged.values():
+        for start, end, job in ivs:
+            points.append((start, 1, job))
+            points.append((end, -1, job))
+    points.sort(key=lambda p: (p[0], -p[1]))
+    time_at = {}
+    serial_sections = []  # (duration, start, jobs active)
+    level = 0
+    active = {}
+    prev = window[0]
+    section_start = window[0]
+    section_jobs = set()
+
+    def close_section(ts):
+        nonlocal section_start, section_jobs
+        if ts > section_start:
+            serial_sections.append(
+                (ts - section_start, section_start,
+                 sorted(section_jobs) or ["<no job running>"]))
+        section_start = ts
+        section_jobs = set()
+
+    for ts, delta, job in points:
+        ts = min(max(ts, window[0]), window[1])
+        if ts > prev:
+            time_at[level] = time_at.get(level, 0.0) + (ts - prev)
+        if level <= 1 and ts > prev:
+            section_jobs.update(active)
+        was_serial = level <= 1
+        if delta > 0:
+            active[job] = active.get(job, 0) + 1
+        else:
+            active[job] = active.get(job, 1) - 1
+            if active[job] <= 0:
+                del active[job]
+        level += delta
+        now_serial = level <= 1
+        if was_serial and not now_serial:
+            close_section(ts)
+        elif not was_serial and now_serial:
+            section_start = ts
+            section_jobs = set(active)
+        prev = ts
+    if prev < window[1]:
+        time_at[level] = time_at.get(level, 0.0) + (window[1] - prev)
+        if level <= 1:
+            section_jobs.update(active)
+    if level <= 1:
+        close_section(window[1])
+    serial_sections.sort(reverse=True)
+    return time_at, serial_sections
+
+
+def amdahl(serial_fraction, n):
+    return 1.0 / (serial_fraction + (1.0 - serial_fraction) / n)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="Chrome trace JSON of a batch run")
+    parser.add_argument("--metrics", action="append", default=[],
+                        metavar="PATH",
+                        help="metrics JSON from bddmin_cli batch --metrics "
+                             "(repeatable: one per thread count)")
+    parser.add_argument("--bench", metavar="PATH",
+                        help="BENCH_batch.json for the speedup curve")
+    parser.add_argument("--top", type=int, default=5, metavar="K",
+                        help="serial sections to list (default: 5)")
+    args = parser.parse_args()
+
+    try:
+        doc = load_json(args.trace)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(f"cannot load {args.trace}: {e}")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return fail('"traceEvents" missing or empty')
+
+    tracks = worker_tracks(events)
+    if not tracks:
+        return fail("no worker-* tracks — was the trace taken on a batch "
+                    "run with BDDMIN_TRACE set?")
+    window = batch_window(events)
+    if window is None:
+        return fail('no "run_batch" span in the trace')
+    wall_us = window[1] - window[0]
+    if wall_us <= 0:
+        return fail("empty run_batch window")
+
+    merged = busy_intervals(events, tracks, window)
+    num_workers = len(tracks)
+    print(f"scaling report: {num_workers} worker(s), "
+          f"batch window {wall_us / 1e6:.3f}s")
+    print()
+    print("per-worker busy fraction (trace job spans / batch window):")
+    total_busy = 0.0
+    for name in sorted(merged, key=lambda n: int(n.split("-")[1])):
+        busy = sum(end - start for start, end, _ in merged[name])
+        total_busy += busy
+        jobs = len(merged[name])
+        print(f"  {name:<10} busy={busy / wall_us:6.1%}  "
+              f"job_spans={jobs}")
+    avg_busy = total_busy / (wall_us * num_workers)
+    print(f"  aggregate   busy={avg_busy:6.1%} of {num_workers} worker(s)")
+
+    time_at, serial_sections = concurrency_sweep(merged, window)
+    serial_us = sum(t for lvl, t in time_at.items() if lvl <= 1)
+    serial_fraction = serial_us / wall_us
+    print()
+    print("concurrency profile (share of batch window at each busy-worker "
+          "count):")
+    for lvl in sorted(time_at):
+        print(f"  {lvl} busy: {time_at[lvl] / wall_us:6.1%}")
+    print(f"measured serial fraction (<= 1 busy): {serial_fraction:.1%}")
+
+    # Amdahl fit against the actual speedup curve, when available.
+    bench = None
+    if args.bench:
+        try:
+            bench = load_json(args.bench)
+        except (OSError, json.JSONDecodeError) as e:
+            return fail(f"cannot load {args.bench}: {e}")
+        print()
+        print("Amdahl fit (serial fraction from the trace) vs measured:")
+        print(f"  {'threads':>8} {'predicted':>10} {'actual':>10}")
+        for run in bench.get("runs", []):
+            n = run.get("threads", 1)
+            predicted = amdahl(serial_fraction, max(1, n))
+            print(f"  {n:>8} {predicted:>9.2f}x "
+                  f"{run.get('speedup', 0.0):>9.2f}x")
+
+    # Steal and queue-depth stats: prefer the metrics files, fall back to
+    # counting trace instants.
+    metrics = []
+    for path in args.metrics:
+        try:
+            metrics.append(load_json(path))
+        except (OSError, json.JSONDecodeError) as e:
+            return fail(f"cannot load {path}: {e}")
+    steal_instants = sum(1 for ev in events
+                        if ev.get("ph") == "i" and ev.get("name") == "steal")
+    depth_samples = [v for ev in events if ev.get("ph") == "C"
+                     and ev.get("name") == "queue_depth"
+                     for v in ev.get("args", {}).values()]
+    print()
+
+    def worker_states(m, w):
+        """busy/steal/sink/idle fractions of one worker, whichever schema:
+        *_seconds (bddmin_cli --metrics) or *_fraction (BENCH runs)."""
+        wall = m.get("wall_seconds", 0.0)
+        states = {}
+        for state in ("busy", "steal", "sink", "idle"):
+            if f"{state}_fraction" in w:
+                states[state] = w[f"{state}_fraction"]
+            else:
+                states[state] = (w.get(f"{state}_seconds", 0.0) / wall
+                                 if wall > 0 else 0.0)
+        return states
+
+    if metrics:
+        print("scheduler metrics (--metrics):")
+        for m in metrics:
+            rate = m.get("steal_success_rate", 0.0)
+            lat = m.get("job_latency_ns", {})
+            print(f"  threads={m.get('threads')}: "
+                  f"steals {m.get('steals')}/{m.get('steal_attempts')} "
+                  f"({rate:.1%} success), "
+                  f"latency p50={lat.get('p50', 0) / 1e6:.2f}ms "
+                  f"p99={lat.get('p99', 0) / 1e6:.2f}ms")
+            for w in m.get("workers", []):
+                states = worker_states(m, w)
+                dominant = max(states, key=states.get)
+                print(f"    worker-{w.get('worker')}: "
+                      + " ".join(f"{k}={v:.1%}" for k, v in states.items())
+                      + f"  dominant={dominant}")
+    else:
+        print(f"steal instants in trace: {steal_instants}")
+    if depth_samples:
+        print(f"queue-depth samples: {len(depth_samples)}, "
+              f"min={min(depth_samples)} max={max(depth_samples)} "
+              f"last={depth_samples[-1]}")
+
+    print()
+    print(f"top {args.top} longest serial sections (<= 1 busy worker):")
+    for dur, start, jobs in serial_sections[:args.top]:
+        label = ", ".join(jobs[:3]) + (" ..." if len(jobs) > 3 else "")
+        print(f"  {dur / 1e6:9.4f}s at +{(start - window[0]) / 1e6:.3f}s: "
+              f"{label}")
+
+    # ---- The diagnosis: name one concrete bottleneck consistent with the
+    # numbers above, in priority order. ---------------------------------
+    print()
+    print("diagnosis:")
+    diagnosed = False
+    hw = bench.get("hardware_concurrency", 0) if bench else 0
+    actual = {run.get("threads"): run.get("speedup", 0.0)
+              for run in (bench.get("runs", []) if bench else [])}
+    worst = min((s for n, s in actual.items() if n and n > 1),
+                default=None)
+    if hw and num_workers > hw:
+        # Busy fractions are wall-clock occupancy: descheduled workers
+        # still count as "busy", so high busy + flat speedup = no cores.
+        print(f"  * CPU oversubscription: {num_workers} workers share "
+              f"{hw} hardware thread(s).  Aggregate busy occupancy is "
+              f"{avg_busy:.1%} yet the measured speedup is flat"
+              + (f" (worst {worst:.2f}x)" if worst is not None else "")
+              + " — workers are timesharing cores, not running in "
+              "parallel.  Per-job latency inflating with the thread "
+              "count (see p99 above) is the signature.")
+        diagnosed = True
+    if serial_fraction > 0.25:
+        predicted = amdahl(serial_fraction, num_workers)
+        print(f"  * measured serial fraction {serial_fraction:.1%}: "
+              f"Amdahl caps {num_workers} workers at "
+              f"{predicted:.2f}x.  The longest serial sections above "
+              "name the jobs to split or schedule first.")
+        diagnosed = True
+    for m in metrics:
+        n = m.get("threads", 0)
+        if n is None or n <= 1:
+            continue
+        idle = []
+        for w in m.get("workers", []):
+            states = worker_states(m, w)
+            if states["idle"] > max(states["busy"], states["steal"],
+                                    states["sink"]):
+                idle.append(w)
+        if idle:
+            rate = m.get("steal_success_rate", 0.0)
+            print(f"  * worker starvation at {n} threads: "
+                  f"{len(idle)}/{len(m.get('workers', []))} workers are "
+                  f"dominantly idle (steal success {rate:.1%}) — the "
+                  "queue drains unevenly; check the depth curve above.")
+            diagnosed = True
+    if not diagnosed:
+        if worst is not None and worst < 0.9 * num_workers:
+            print("  * no dominant serial fraction or starvation, but the "
+                  f"speedup ({worst:.2f}x) still trails {num_workers} "
+                  "workers: suspect per-pop scheduler overhead (steal "
+                  "sweeps, sink contention) — see the steal stats above.")
+        else:
+            print("  * no bottleneck apparent: workers are busy, the "
+                  "serial fraction is small, and the speedup tracks the "
+                  "worker count.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
