@@ -10,7 +10,7 @@
 /// hardware thread all counts collapse to ~1x.  Determinism is asserted
 /// unconditionally — the CSV never depends on the thread count.
 ///
-/// BENCH_batch.json (schema_version 2) separates the two kinds of data:
+/// BENCH_batch.json (schema_version 3) separates the two kinds of data:
 /// thread-invariant counters (cache hits/misses, governor steps,
 /// peak_live, job tallies) are *asserted* equal across thread counts and
 /// emitted once at top level, while each per-thread run object carries
@@ -18,20 +18,32 @@
 /// latency, per-worker busy/steal/sink/idle fractions and steal stats —
 /// the before/after baseline ROADMAP item 1's scaling fix needs.
 ///
+/// Schema 3 adds the shard-scheduling comparison: the same job set run
+/// unsharded vs sharded (engine::kDefaultShardCost) at 1/2/8 threads,
+/// asserting the deterministic CSV is byte-identical across the whole
+/// matrix, and recording per mode the wall time, scheduler-overhead
+/// fraction (1 - summed heuristic seconds / summed busy seconds),
+/// computed-cache hit rate (cross-job reuse shows up here), shard stats
+/// and warm/cold manager-acquisition counts.  `--heavy` appends a
+/// heavy-tier section over workload::heavy_tier_jobs (>= 30k jobs).
+///
 /// Exit status: 0 on success, 1 on CSV divergence, failed jobs, or a
 /// thread-variant "invariant" counter.
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "engine/collect.hpp"
 #include "engine/engine.hpp"
+#include "engine/shard.hpp"
 #include "experiment_common.hpp"
 #include "fsm/equiv.hpp"
 #include "harness/csv.hpp"
 #include "harness/json.hpp"
+#include "workload/generators.hpp"
 
 namespace bddmin::bench {
 namespace {
@@ -109,7 +121,73 @@ InvariantCounters invariants_of(const engine::BatchReport& report) {
   return inv;
 }
 
-int run() {
+/// Scheduler-overhead fraction of one run: the share of worker busy time
+/// *not* spent inside a heuristic (decode, manager reset, governor
+/// rebaseline, validation, delivery).  Warm in-shard reuse attacks
+/// exactly this number.
+double overhead_fraction(const engine::BatchReport& report) {
+  double heuristic_seconds = 0.0;
+  for (const engine::JobOutcome& o : report.outcomes) {
+    for (const engine::HeuristicResult& r : o.results) {
+      heuristic_seconds += r.seconds;
+    }
+  }
+  double busy_seconds = 0.0;
+  for (const engine::WorkerUtilization& u : report.metrics.workers) {
+    busy_seconds += u.busy_seconds;
+  }
+  return busy_seconds > 0.0
+             ? std::max(0.0, 1.0 - heuristic_seconds / busy_seconds)
+             : 0.0;
+}
+
+/// Batch-summed computed-cache hit rate — with warm in-shard reuse the
+/// cache carries across jobs, so cross-job reuse lifts this rate.
+double cache_hit_rate(const engine::BatchReport& report) {
+  telemetry::CounterSnapshot sum;
+  for (const engine::JobOutcome& o : report.outcomes) sum += o.counters;
+  const std::uint64_t hits = sum.total_cache_hits();
+  const std::uint64_t misses = sum.total_cache_misses();
+  return hits + misses ? static_cast<double>(hits) / (hits + misses) : 0.0;
+}
+
+///// One sharded-vs-unsharded comparison run: emit the mode's JSON object
+/// and check its deterministic CSV against \p baseline_csv (empty = set
+/// it).  Returns the wall seconds.
+double shard_mode_run(harness::JsonWriter& json,
+                      const std::vector<engine::Job>& jobs, unsigned threads,
+                      std::uint64_t shard_cost, unsigned lower_bound_cubes,
+                      std::string* baseline_csv, int* failures) {
+  engine::EngineOptions opts;
+  opts.num_threads = threads;
+  opts.shard_cost = shard_cost;
+  opts.lower_bound_cubes = lower_bound_cubes;
+  const engine::BatchReport report = engine::run_batch(jobs, opts);
+  const std::string csv = engine::report_csv(report);
+  if (baseline_csv->empty()) {
+    *baseline_csv = csv;
+  } else if (csv != *baseline_csv) {
+    std::printf("!! CSV diverges at %u threads, shard_cost=%llu\n", threads,
+                static_cast<unsigned long long>(shard_cost));
+    ++*failures;
+  }
+  const engine::BatchMetrics& m = report.metrics;
+  json.begin_object();
+  json.kv("threads", threads);
+  json.kv("sharded", shard_cost > 0);
+  json.kv("wall_seconds", report.wall_seconds);
+  json.kv("overhead_fraction", overhead_fraction(report));
+  json.kv("cache_hit_rate", cache_hit_rate(report));
+  json.kv("shards", m.shards);
+  json.kv("warm_jobs", m.warm_jobs);
+  json.kv("cold_jobs", m.cold_jobs);
+  json.kv("shard_jobs_p50", m.shard_jobs.quantile(0.50));
+  json.kv("shard_jobs_max", m.shard_jobs.max_bound());
+  json.end_object();
+  return report.wall_seconds;
+}
+
+int run(bool heavy) {
   const std::vector<engine::Job> jobs = harvest_jobs();
   if (jobs.empty()) {
     std::printf("no jobs harvested\n");
@@ -123,7 +201,7 @@ int run() {
   harness::JsonWriter json;
   json.begin_object();
   json.kv("bench", "batch");
-  json.kv("schema_version", 2);
+  json.kv("schema_version", 3);
   json.kv("jobs", jobs.size());
   json.kv("hardware_concurrency",
           static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
@@ -291,6 +369,80 @@ int run() {
                          ? dedup_off_seconds / dedup_on_seconds
                          : 0.0);
   json.end_object();
+
+  // Sharded-vs-unsharded matrix: {1, 2, 8} threads x {off, default
+  // budget}, deterministic CSV asserted byte-identical across all six
+  // runs.  The headline number is the 1-thread wall improvement —
+  // exactly what warm in-shard manager reuse buys on a host with one
+  // hardware thread, where extra workers cannot help.
+  double shard_off_1t = 0.0;
+  double shard_on_1t = 0.0;
+  {
+    std::string shard_baseline;
+    json.key("sharding");
+    json.begin_object();
+    json.kv("shard_cost_budget", engine::kDefaultShardCost);
+    json.key("runs");
+    json.begin_array();
+    std::printf("# %7s %8s %10s\n", "threads", "sharded", "wall[s]");
+    for (const unsigned threads : {1u, 2u, 8u}) {
+      for (const bool sharded : {false, true}) {
+        const double wall = shard_mode_run(
+            json, jobs, threads,
+            sharded ? engine::kDefaultShardCost : std::uint64_t{0},
+            /*lower_bound_cubes=*/500, &shard_baseline, &failures);
+        if (threads == 1 && !sharded) shard_off_1t = wall;
+        if (threads == 1 && sharded) shard_on_1t = wall;
+        std::printf("  %7u %8s %10.3f\n", threads, sharded ? "on" : "off",
+                    wall);
+        std::fflush(stdout);
+      }
+    }
+    json.end_array();
+    json.kv("wall_seconds_unsharded_1t", shard_off_1t);
+    json.kv("wall_seconds_sharded_1t", shard_on_1t);
+    json.kv("single_thread_improvement",
+            shard_off_1t > 0.0 ? 1.0 - shard_on_1t / shard_off_1t : 0.0);
+    json.end_object();
+    std::printf("# sharding: 1-thread wall %0.3fs off / %0.3fs on "
+                "(%.1f%% improvement)\n",
+                shard_off_1t, shard_on_1t,
+                shard_off_1t > 0.0
+                    ? (1.0 - shard_on_1t / shard_off_1t) * 100.0
+                    : 0.0);
+  }
+
+  // Heavy tier (--heavy): the scaled-up parameterized stream, >= 30k
+  // jobs dominated by cheap payloads — the regime where per-job fixed
+  // cost is the bottleneck and sharding matters most.
+  if (heavy) {
+    const std::vector<engine::Job> heavy_jobs =
+        workload::heavy_tier_jobs(/*scale=*/50, /*seed=*/0x5eed);
+    std::printf("# heavy tier: %zu jobs\n", heavy_jobs.size());
+    std::string heavy_baseline;
+    json.key("heavy");
+    json.begin_object();
+    json.kv("jobs", heavy_jobs.size());
+    json.kv("scale", 50);
+    json.key("runs");
+    json.begin_array();
+    double heavy_off = 0.0;
+    double heavy_on = 0.0;
+    for (const bool sharded : {false, true}) {
+      const double wall = shard_mode_run(
+          json, heavy_jobs, /*threads=*/1,
+          sharded ? engine::kDefaultShardCost : std::uint64_t{0},
+          /*lower_bound_cubes=*/0, &heavy_baseline, &failures);
+      (sharded ? heavy_on : heavy_off) = wall;
+      std::printf("# heavy 1-thread shard %s: %.3fs\n",
+                  sharded ? "on" : "off", wall);
+      std::fflush(stdout);
+    }
+    json.end_array();
+    json.kv("single_thread_improvement",
+            heavy_off > 0.0 ? 1.0 - heavy_on / heavy_off : 0.0);
+    json.end_object();
+  }
   json.kv("deterministic", failures == 0);
   json.end_object();
   if (harness::write_text_file("BENCH_batch.json", json.str())) {
@@ -302,4 +454,10 @@ int run() {
 }  // namespace
 }  // namespace bddmin::bench
 
-int main() { return bddmin::bench::run(); }
+int main(int argc, char** argv) {
+  bool heavy = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--heavy") == 0) heavy = true;
+  }
+  return bddmin::bench::run(heavy);
+}

@@ -1,5 +1,6 @@
 #include "bdd/io.hpp"
 
+#include <charconv>
 #include <sstream>
 
 #include "bdd/bdd.hpp"
@@ -20,7 +21,39 @@ void write_edge(std::ostream& os, Edge e,
   os << '#' << ids.at(e.index());
 }
 
-Edge read_edge(const std::string& token, const std::vector<Edge>& by_id) {
+/// Whitespace-token cursor over the serialized text.  Replaces the old
+/// istringstream parser: no copy of the payload, no stream machinery —
+/// the batch engine decodes thousands of forest payloads per second
+/// through this path.
+struct TokenCursor {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  [[nodiscard]] static bool is_space(char c) noexcept {
+    return c == ' ' || c == '\n' || c == '\t' || c == '\r';
+  }
+  /// Next whitespace-delimited token; empty view when exhausted.
+  [[nodiscard]] std::string_view next() noexcept {
+    while (pos < text.size() && is_space(text[pos])) ++pos;
+    const std::size_t start = pos;
+    while (pos < text.size() && !is_space(text[pos])) ++pos;
+    return text.substr(start, pos - start);
+  }
+};
+
+/// Strict decimal parse of one token; \p what names the field on error.
+[[nodiscard]] std::uint64_t token_u64(std::string_view token,
+                                      const char* what) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (token.empty() || ec != std::errc() || ptr != token.data() + token.size()) {
+    throw std::invalid_argument(std::string("bdd io: ") + what);
+  }
+  return value;
+}
+
+Edge read_edge(std::string_view token, const std::vector<Edge>& by_id) {
   if (token == "@1") return kOne;
   if (token == "@0") return kZero;
   std::string_view view = token;
@@ -30,13 +63,14 @@ Edge read_edge(const std::string& token, const std::vector<Edge>& by_id) {
     view.remove_prefix(1);
   }
   if (view.empty() || view.front() != '#') {
-    throw std::invalid_argument("bdd io: bad edge token " + token);
+    throw std::invalid_argument("bdd io: bad edge token " + std::string(token));
   }
   view.remove_prefix(1);
-  const std::size_t id = std::stoul(std::string(view));
+  const std::size_t id = token_u64(view, "bad edge token");
   // Children-first numbering: only already-built ids may be referenced.
   if (id == 0 || id > by_id.size()) {
-    throw std::invalid_argument("bdd io: undefined node id " + token);
+    throw std::invalid_argument("bdd io: undefined node id " +
+                                std::string(token));
   }
   return by_id[id - 1].complement_if(complement);
 }
@@ -78,51 +112,64 @@ std::string serialize(const Manager& mgr, std::span<const Edge> roots) {
 }
 
 std::vector<Edge> deserialize(Manager& mgr, std::string_view text) {
-  std::istringstream in{std::string(text)};
-  std::string magic, version;
-  in >> magic >> version;
-  if (magic != "bddmin-bdd" || version != "v1") {
+  std::vector<Edge> scratch;
+  std::vector<Edge> roots;
+  deserialize_into(mgr, text, &scratch, &roots);
+  return roots;
+}
+
+void deserialize_into(Manager& mgr, std::string_view text,
+                      std::vector<Edge>* scratch, std::vector<Edge>* roots) {
+  TokenCursor in{text};
+  if (in.next() != "bddmin-bdd" || in.next() != "v1") {
     throw std::invalid_argument("bdd io: bad header");
   }
-  std::string keyword;
-  unsigned vars = 0;
-  in >> keyword >> vars;
-  if (keyword != "vars") throw std::invalid_argument("bdd io: expected vars");
+  if (in.next() != "vars") throw std::invalid_argument("bdd io: expected vars");
+  const auto vars = static_cast<unsigned>(token_u64(in.next(), "expected vars"));
   if (vars > mgr.num_vars()) {
     throw std::invalid_argument("bdd io: manager has too few variables");
   }
-  std::size_t node_count = 0;
-  in >> keyword >> node_count;
-  if (keyword != "nodes") throw std::invalid_argument("bdd io: expected nodes");
+  if (in.next() != "nodes") {
+    throw std::invalid_argument("bdd io: expected nodes");
+  }
+  const std::size_t node_count = token_u64(in.next(), "expected nodes");
 
-  std::vector<Edge> by_id;
+  std::vector<Edge>& by_id = *scratch;
+  by_id.clear();
   by_id.reserve(node_count);
   EdgePin pin(mgr);
   for (std::size_t k = 0; k < node_count; ++k) {
     std::size_t id = 0;
-    std::uint32_t var = 0;
-    std::string hi_token, lo_token;
-    if (!(in >> id >> var >> hi_token >> lo_token) || id != k + 1 ||
-        var >= vars) {
+    std::uint64_t var = 0;
+    try {
+      id = token_u64(in.next(), "malformed node line");
+      var = token_u64(in.next(), "malformed node line");
+    } catch (const std::invalid_argument&) {
+      throw std::invalid_argument("bdd io: malformed node line");
+    }
+    const std::string_view hi_token = in.next();
+    const std::string_view lo_token = in.next();
+    if (id != k + 1 || var >= vars || hi_token.empty() || lo_token.empty()) {
       throw std::invalid_argument("bdd io: malformed node line");
     }
     const Edge hi = read_edge(hi_token, by_id);
     const Edge lo = read_edge(lo_token, by_id);
     // Recombine with ITE: the destination order may differ from the
     // source order, where make_node's level precondition could fail.
-    by_id.push_back(pin.pin(mgr.ite(mgr.var_edge(var), hi, lo)));
+    by_id.push_back(
+        pin.pin(mgr.ite(mgr.var_edge(static_cast<std::uint32_t>(var)), hi, lo)));
   }
-  std::size_t root_count = 0;
-  in >> keyword >> root_count;
-  if (keyword != "roots") throw std::invalid_argument("bdd io: expected roots");
-  std::vector<Edge> roots;
-  roots.reserve(root_count);
+  if (in.next() != "roots") {
+    throw std::invalid_argument("bdd io: expected roots");
+  }
+  const std::size_t root_count = token_u64(in.next(), "expected roots");
+  roots->clear();
+  roots->reserve(root_count);
   for (std::size_t r = 0; r < root_count; ++r) {
-    std::string token;
-    if (!(in >> token)) throw std::invalid_argument("bdd io: missing root");
-    roots.push_back(read_edge(token, by_id));
+    const std::string_view token = in.next();
+    if (token.empty()) throw std::invalid_argument("bdd io: missing root");
+    roots->push_back(read_edge(token, by_id));
   }
-  return roots;
 }
 
 }  // namespace bddmin

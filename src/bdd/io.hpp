@@ -35,4 +35,13 @@ namespace bddmin {
 /// Throws std::invalid_argument on malformed input.
 [[nodiscard]] std::vector<Edge> deserialize(Manager& mgr, std::string_view text);
 
+/// deserialize() into caller-owned buffers: \p roots receives the root
+/// edges, \p scratch is the node-id table the parser builds along the
+/// way.  Both are cleared first and keep their capacity, so a worker
+/// decoding thousands of forest payloads through the same pair does
+/// zero steady-state allocation (the batch engine's per-worker arenas).
+/// Parsing works directly on \p text — no stream, no payload copy.
+void deserialize_into(Manager& mgr, std::string_view text,
+                      std::vector<Edge>* scratch, std::vector<Edge>* roots);
+
 }  // namespace bddmin

@@ -19,6 +19,7 @@
 #include "engine/flight.hpp"
 #include "engine/journal.hpp"
 #include "engine/queue.hpp"
+#include "engine/shard.hpp"
 #include "harness/csv.hpp"
 #include "harness/env.hpp"
 #include "minimize/lower_bound.hpp"
@@ -64,6 +65,8 @@ struct alignas(64) WorkerStats {
   std::uint64_t steal_attempts = 0;
   std::uint64_t steals = 0;
   std::uint64_t pops = 0;  ///< depth-sampler cadence counter
+  std::uint64_t warm_jobs = 0;  ///< manager acquisitions that skipped reset()
+  std::uint64_t cold_jobs = 0;  ///< manager acquisitions through reset()
 };
 
 /// The batch-local histogram set.  Workers record wait-free; run_batch
@@ -76,6 +79,8 @@ struct BatchInstruments {
   telemetry::Histogram job_steps;
   telemetry::Histogram steal_search;
   telemetry::Histogram queue_depth;
+  telemetry::Histogram shard_jobs;
+  telemetry::Histogram shard_cost;
 };
 
 /// Per-worker slot shared with the watchdog thread.  The worker publishes
@@ -173,6 +178,11 @@ struct WorkerContext {
   FlightRecorder* flight = nullptr;        ///< this worker's event ring
   const std::string* flight_path = nullptr;///< dump destination ("" = stderr only)
   BatchInstruments* instruments = nullptr; ///< batch-local histograms
+  const std::vector<std::size_t>* to_run = nullptr;  ///< run list (job indices)
+  const ShardPlan* plan = nullptr;  ///< shard ranges over *to_run
+  /// True when mid-shard jobs may reuse a warm manager: sharding is on
+  /// and no escape hatch (node/step quota, structural audit) is armed.
+  bool warm_capable = false;
 };
 
 [[nodiscard]] bool cancelled(const EngineOptions& opts) {
@@ -231,7 +241,8 @@ Manager& acquire_manager(std::unique_ptr<Manager>& pool, unsigned num_vars,
 
 JobOutcome process_job(const Job& job, const WorkerContext& ctx,
                        std::unique_ptr<Manager>& pool,
-                       const JobControl& control) {
+                       const JobControl& control, bool warm,
+                       DecodeScratch& decode_scratch) {
   const EngineOptions& opts = *ctx.opts;
   const std::vector<minimize::Heuristic>& heuristics = *ctx.heuristics;
   const auto job_start = Clock::now();
@@ -246,17 +257,37 @@ JobOutcome process_job(const Job& job, const WorkerContext& ctx,
     return outcome;
   }
 
-  Manager& mgr =
-      acquire_manager(pool, std::max(job.num_vars, 1u), opts.cache_log2);
+  // counter_base stays all-zero on the cold path (reset() zeroes the
+  // bank), so `telemetry() - counter_base` is a per-job delta either way.
+  telemetry::CounterSnapshot counter_base;
+  Manager* acquired = nullptr;
+  if (warm) {
+    // Warm continuation inside a shard: the caller verified the pooled
+    // manager exists, matches num_vars and is under the node watermark.
+    // The unique table and computed cache carry over from the previous
+    // job; only the per-job governor telemetry (steps, peak_live, abort
+    // signal) is rebaselined.  Results are unaffected — BDDs are
+    // canonical and a cached result *is* the result — the warm state
+    // only removes work, which the counter deltas quantify.
+    acquired = pool.get();
+    acquired->governor().reset_job();
+    counter_base = acquired->telemetry();
+    ++ctx.stats->warm_jobs;
+  } else {
+    acquired =
+        &acquire_manager(pool, std::max(job.num_vars, 1u), opts.cache_log2);
+    ++ctx.stats->cold_jobs;
+  }
+  Manager& mgr = *acquired;
   // Wire this (job, attempt) to the watchdog: the governor polls the
   // signal on its deadline cadence, so even a single runaway recursion is
-  // cancellable.  acquire_manager's reset detached any previous signal.
+  // cancellable.  reset()/reset_job() detached any previous signal.
   if (control.abort_signal != nullptr) {
     mgr.governor().attach_abort_signal(control.abort_signal, control.epoch);
   }
   minimize::IncSpec spec;
   try {
-    spec = decode_job(mgr, job);
+    spec = decode_job(mgr, job, decode_scratch);
   } catch (const AbortRequested& e) {
     outcome.status = JobStatus::kQuarantined;
     outcome.detail = std::string("decode: ") + e.what();
@@ -297,7 +328,10 @@ JobOutcome process_job(const Job& job, const WorkerContext& ctx,
       outcome.detail += "cancelled by watchdog between heuristics";
       break;
     }
-    if (opts.flush_between || mgr.governor().soft_exceeded()) {
+    // A warm job must not flush: garbage_collect() clears the computed
+    // cache, which is exactly the state warm reuse exists to keep.  The
+    // soft-quota flush can't arise warm (quotas force the cold path).
+    if ((opts.flush_between && !warm) || mgr.governor().soft_exceeded()) {
       mgr.garbage_collect();
     }
     const auto start = Clock::now();
@@ -413,7 +447,7 @@ JobOutcome process_job(const Job& job, const WorkerContext& ctx,
     outcome.lower_bound = lb.bound;
   }
   outcome.peak_live = mgr.governor().peak_live_nodes();
-  outcome.counters = mgr.telemetry();
+  outcome.counters = mgr.telemetry() - counter_base;
   telemetry::global().add(outcome.counters);
   outcome.seconds =
       std::chrono::duration<double>(Clock::now() - job_start).count();
@@ -471,15 +505,23 @@ void backoff_sleep(const EngineOptions& opts, std::size_t index,
 
 void worker_loop(WorkStealingQueue& queue, std::span<const Job> jobs,
                  ResultSink& sink, const WorkerContext& ctx) {
-  // One pooled Manager per worker, reused across jobs via reset().
+  // One pooled Manager per worker, reused across jobs via reset() — and,
+  // inside a shard, without it (warm continuation, see process_job).
   std::unique_ptr<Manager> pool;
   WorkerStats& stats = *ctx.stats;
   FlightRecorder& flight = *ctx.flight;
-  std::size_t index = 0;
+  // Per-worker arenas: reused across every job this worker runs, so the
+  // steady-state loop performs no heap allocation for decode buffers or
+  // journal records (the VisitScratch idiom, extended to the engine).
+  DecodeScratch decode_scratch;
+  std::string journal_group;  // buffered C-record lines, one flush per shard
+  const bool group_commit =
+      ctx.journal != nullptr && ctx.opts->journal_group_commit;
+  std::size_t shard_index = 0;
   for (;;) {
     WorkStealingQueue::PopOutcome pop;
     const std::uint64_t pop_start = stat_now_ns();
-    const bool got = queue.try_pop(ctx.worker, &index, &pop);
+    const bool got = queue.try_pop(ctx.worker, &shard_index, &pop);
     const std::uint64_t pop_ns = stat_now_ns() - pop_start;
     if (!got) {
       // The exit sweep scanned every deque and found nothing — by
@@ -489,13 +531,15 @@ void worker_loop(WorkStealingQueue& queue, std::span<const Job> jobs,
       ctx.instruments->steal_search.record(pop_ns);
       break;
     }
+    const Shard& shard = ctx.plan->shards[shard_index];
     if (pop.stolen) {
       ++stats.steal_attempts;
       ++stats.steals;
       stats.steal_ns += pop_ns;
       ctx.instruments->steal_search.record(pop_ns);
       flight.record(FlightEventType::kSteal,
-                    static_cast<std::uint32_t>(index), 0, 0);
+                    static_cast<std::uint32_t>((*ctx.to_run)[shard.first]), 0,
+                    0);
     }
     if constexpr (telemetry::kHistogramsEnabled) {
       if (++stats.pops % kDepthSampleEvery == 0) {
@@ -504,122 +548,154 @@ void worker_loop(WorkStealingQueue& queue, std::span<const Job> jobs,
         telemetry::trace_counter("queue_depth", "engine", depth);
       }
     }
-    const telemetry::TraceScope span(std::string("job:") + jobs[index].name,
-                                     "engine");
-    unsigned attempt = 1;
-    std::string first_retry_reason;
-    for (;;) {
-      JobOutcome outcome;
-      JobControl control;
-      if (ctx.status != nullptr) {
-        // Publish this (job, attempt) to the watchdog: start time first,
-        // then the epoch with release (see WorkerStatus).
-        const std::uint64_t epoch = ++ctx.status->next_epoch;
-        ctx.status->start_ns.store(now_ns(), std::memory_order_relaxed);
-        ctx.status->epoch.store(epoch, std::memory_order_release);
-        control.abort_signal = &ctx.status->abort_epoch;
-        control.epoch = epoch;
-      }
-      flight.record(FlightEventType::kJobStart,
-                    static_cast<std::uint32_t>(index),
-                    static_cast<std::uint16_t>(attempt), 0);
-      const std::uint64_t busy_start = stat_now_ns();
-      try {
-        if (const auto hit = BDDMIN_FAILPOINT("worker_loop_hang")) {
-          flight.record(FlightEventType::kFailpoint,
-                        static_cast<std::uint32_t>(index),
-                        static_cast<std::uint16_t>(attempt), 0);
-          hang_sleep(hit.value, control);
+    // Whether the *next* job in this shard may start warm: the previous
+    // job must have completed cleanly first-attempt on this manager.
+    // Resets via exceptions (pool dropped), retries and escape hatches
+    // all fall back to cold deterministically.
+    bool warm_ready = false;
+    for (std::uint32_t j = 0; j < shard.count; ++j) {
+      const std::size_t index = (*ctx.to_run)[shard.first + j];
+      const telemetry::TraceScope span(std::string("job:") + jobs[index].name,
+                                       "engine");
+      unsigned attempt = 1;
+      std::string first_retry_reason;
+      for (;;) {
+        JobOutcome outcome;
+        JobControl control;
+        if (ctx.status != nullptr) {
+          // Publish this (job, attempt) to the watchdog: start time first,
+          // then the epoch with release (see WorkerStatus).
+          const std::uint64_t epoch = ++ctx.status->next_epoch;
+          ctx.status->start_ns.store(now_ns(), std::memory_order_relaxed);
+          ctx.status->epoch.store(epoch, std::memory_order_release);
+          control.abort_signal = &ctx.status->abort_epoch;
+          control.epoch = epoch;
         }
-        outcome = process_job(jobs[index], ctx, pool, control);
-      } catch (const AbortRequested& e) {
-        // A cancellation that unwound past process_job (decode outside
-        // its catch, validation, an injected hang).  The manager honours
-        // the strong guarantee, but be conservative with the pool.
-        outcome.name = jobs[index].name;
-        outcome.num_vars = jobs[index].num_vars;
-        outcome.worker = ctx.worker;
-        outcome.status = JobStatus::kQuarantined;
-        outcome.detail = e.what();
-        outcome.results.resize(ctx.heuristics->size());
-        pool.reset();
-      } catch (const std::exception& e) {
-        // Containment: a throw outside the budgeted sections (e.g. the
-        // manager constructor running out of memory) fails the one job, not
-        // the batch.  The results vector is sized so the CSV keeps its shape.
-        outcome.name = jobs[index].name;
-        outcome.num_vars = jobs[index].num_vars;
-        outcome.worker = ctx.worker;
-        outcome.status = JobStatus::kError;
-        outcome.error = e.what();
-        outcome.results.resize(ctx.heuristics->size());
-        // An uncontained throw may have left the pooled manager mid-mutation;
-        // drop it rather than reuse a possibly inconsistent instance.
-        pool.reset();
-      }
-      stats.busy_ns += stat_now_ns() - busy_start;
-      flight.record(FlightEventType::kJobFinish,
-                    static_cast<std::uint32_t>(index),
-                    static_cast<std::uint16_t>(attempt),
-                    static_cast<std::uint8_t>(outcome.status));
-      if (ctx.status != nullptr) {
-        ctx.status->epoch.store(0, std::memory_order_release);  // idle
-      }
-
-      const std::string reason = retry_class(outcome, *ctx.opts);
-      if (!reason.empty() && attempt <= ctx.opts->max_retries) {
-        if (first_retry_reason.empty()) first_retry_reason = reason;
-        flight.record(FlightEventType::kRetry,
+        flight.record(FlightEventType::kJobStart,
+                      static_cast<std::uint32_t>(index),
+                      static_cast<std::uint16_t>(attempt), 0);
+        const std::uint64_t busy_start = stat_now_ns();
+        // The warm decision, per attempt: retries always start cold, and
+        // the node watermark bounds table garbage across a long shard.
+        const bool warm =
+            ctx.warm_capable && warm_ready && attempt == 1 &&
+            pool != nullptr &&
+            pool->num_vars() == std::max(jobs[index].num_vars, 1u) &&
+            pool->allocated_nodes() < ctx.opts->shard_node_watermark;
+        try {
+          if (const auto hit = BDDMIN_FAILPOINT("worker_loop_hang")) {
+            flight.record(FlightEventType::kFailpoint,
+                          static_cast<std::uint32_t>(index),
+                          static_cast<std::uint16_t>(attempt), 0);
+            hang_sleep(hit.value, control);
+          }
+          outcome = process_job(jobs[index], ctx, pool, control, warm,
+                                decode_scratch);
+        } catch (const AbortRequested& e) {
+          // A cancellation that unwound past process_job (decode outside
+          // its catch, validation, an injected hang).  The manager honours
+          // the strong guarantee, but be conservative with the pool.
+          outcome.name = jobs[index].name;
+          outcome.num_vars = jobs[index].num_vars;
+          outcome.worker = ctx.worker;
+          outcome.status = JobStatus::kQuarantined;
+          outcome.detail = e.what();
+          outcome.results.resize(ctx.heuristics->size());
+          pool.reset();
+        } catch (const std::exception& e) {
+          // Containment: a throw outside the budgeted sections (e.g. the
+          // manager constructor running out of memory) fails the one job, not
+          // the batch.  The results vector is sized so the CSV keeps its shape.
+          outcome.name = jobs[index].name;
+          outcome.num_vars = jobs[index].num_vars;
+          outcome.worker = ctx.worker;
+          outcome.status = JobStatus::kError;
+          outcome.error = e.what();
+          outcome.results.resize(ctx.heuristics->size());
+          // An uncontained throw may have left the pooled manager mid-mutation;
+          // drop it rather than reuse a possibly inconsistent instance.
+          pool.reset();
+        }
+        stats.busy_ns += stat_now_ns() - busy_start;
+        flight.record(FlightEventType::kJobFinish,
                       static_cast<std::uint32_t>(index),
                       static_cast<std::uint16_t>(attempt),
                       static_cast<std::uint8_t>(outcome.status));
-        backoff_sleep(*ctx.opts, index, attempt);  // idle, not busy
-        ++attempt;
-        continue;  // fresh attempt, fresh JobOutcome
-      }
+        if (ctx.status != nullptr) {
+          ctx.status->epoch.store(0, std::memory_order_release);  // idle
+        }
 
-      outcome.attempts = attempt;
-      outcome.retry_reason = first_retry_reason;
-      ++stats.jobs;
-      if constexpr (telemetry::kHistogramsEnabled) {
-        const auto latency_ns =
-            static_cast<std::uint64_t>(outcome.seconds * 1e9);
-        telemetry::histograms()
-            .job_latency(static_cast<unsigned>(outcome.status), attempt)
-            .record(latency_ns);
-        ctx.instruments->job_latency.record(latency_ns);
-        ctx.instruments->job_steps.record(
-            outcome.counters.value(telemetry::Counter::kGovernorSteps));
+        const std::string reason = retry_class(outcome, *ctx.opts);
+        if (!reason.empty() && attempt <= ctx.opts->max_retries) {
+          if (first_retry_reason.empty()) first_retry_reason = reason;
+          flight.record(FlightEventType::kRetry,
+                        static_cast<std::uint32_t>(index),
+                        static_cast<std::uint16_t>(attempt),
+                        static_cast<std::uint8_t>(outcome.status));
+          backoff_sleep(*ctx.opts, index, attempt);  // idle, not busy
+          ++attempt;
+          continue;  // fresh attempt, fresh JobOutcome
+        }
+
+        outcome.attempts = attempt;
+        outcome.retry_reason = first_retry_reason;
+        ++stats.jobs;
+        if constexpr (telemetry::kHistogramsEnabled) {
+          const auto latency_ns =
+              static_cast<std::uint64_t>(outcome.seconds * 1e9);
+          telemetry::histograms()
+              .job_latency(static_cast<unsigned>(outcome.status), attempt)
+              .record(latency_ns);
+          ctx.instruments->job_latency.record(latency_ns);
+          ctx.instruments->job_steps.record(
+              outcome.counters.value(telemetry::Counter::kGovernorSteps));
+        }
+        if (outcome.status == JobStatus::kQuarantined) {
+          // Black-box moment: capture what this worker was doing around
+          // the quarantine while the ring still holds it.
+          flight.record(FlightEventType::kQuarantine,
+                        static_cast<std::uint32_t>(index),
+                        static_cast<std::uint16_t>(attempt),
+                        static_cast<std::uint8_t>(outcome.attempts));
+          std::string text;
+          flight.dump(&text, ctx.worker, "job quarantined");
+          flight_write_dump(text, ctx.flight_path != nullptr ? *ctx.flight_path
+                                                             : std::string());
+        }
+        // The next job in this shard may only start warm off a clean
+        // first-attempt success — anything else leaves reuse undefined.
+        warm_ready = outcome.status == JobStatus::kOk && attempt == 1;
+        const std::uint64_t sink_start = stat_now_ns();
+        if (const auto hit = BDDMIN_FAILPOINT("sink_drain_hang")) {
+          // Bounded stall in the delivery path (lock *not* held).
+          flight.record(FlightEventType::kFailpoint,
+                        static_cast<std::uint32_t>(index),
+                        static_cast<std::uint16_t>(attempt), 1);
+          std::this_thread::sleep_for(std::chrono::milliseconds(hit.value));
+        }
+        // Journal before the sink: once an outcome is observable it is
+        // also durable.  Cancelled jobs are deliberately not journalled —
+        // a resume after a cancellation re-runs them.  Group-commit mode
+        // buffers the record and flushes once per shard instead; the
+        // durability unit widens from one job to one shard, and a crash
+        // re-runs at most the unflushed tail of the current shard.
+        if (ctx.journal != nullptr && outcome.status != JobStatus::kCancelled) {
+          if (group_commit) {
+            journal_group += format_completed_record(index, outcome);
+          } else {
+            ctx.journal->append_completed(index, outcome);
+          }
+        }
+        sink.deliver(index, std::move(outcome));
+        stats.sink_ns += stat_now_ns() - sink_start;
+        break;
       }
-      if (outcome.status == JobStatus::kQuarantined) {
-        // Black-box moment: capture what this worker was doing around
-        // the quarantine while the ring still holds it.
-        flight.record(FlightEventType::kQuarantine,
-                      static_cast<std::uint32_t>(index),
-                      static_cast<std::uint16_t>(attempt),
-                      static_cast<std::uint8_t>(outcome.attempts));
-        std::string text;
-        flight.dump(&text, ctx.worker, "job quarantined");
-        flight_write_dump(text, ctx.flight_path != nullptr ? *ctx.flight_path
-                                                           : std::string());
-      }
-      const std::uint64_t sink_start = stat_now_ns();
-      if (const auto hit = BDDMIN_FAILPOINT("sink_drain_hang")) {
-        // Bounded stall in the delivery path (lock *not* held).
-        flight.record(FlightEventType::kFailpoint,
-                      static_cast<std::uint32_t>(index),
-                      static_cast<std::uint16_t>(attempt), 1);
-        std::this_thread::sleep_for(std::chrono::milliseconds(hit.value));
-      }
-      // Journal before the sink: once an outcome is observable it is
-      // also durable.  Cancelled jobs are deliberately not journalled —
-      // a resume after a cancellation re-runs them.
-      if (ctx.journal != nullptr && outcome.status != JobStatus::kCancelled) {
-        ctx.journal->append_completed(index, outcome);
-      }
-      sink.deliver(index, std::move(outcome));
-      stats.sink_ns += stat_now_ns() - sink_start;
-      break;
+    }
+    if (group_commit && !journal_group.empty()) {
+      const std::uint64_t flush_start = stat_now_ns();
+      ctx.journal->append_raw_lines(journal_group);
+      journal_group.clear();
+      stats.sink_ns += stat_now_ns() - flush_start;
     }
   }
 }
@@ -775,16 +851,34 @@ BatchReport run_batch(std::span<const Job> jobs, const EngineOptions& opts) {
     }
   }
 
+  // Shard plan: a deterministic pure function of the run list and the
+  // cost budget, computed once up front.  The queue dispatches shard
+  // indices; budget 0 degenerates to one job per shard (classic per-job
+  // scheduling, no warm reuse).
+  const ShardPlan plan = pack_shards(jobs, to_run, effective.shard_cost);
+  // Warm in-shard reuse is only armed when no per-job escape hatch could
+  // observe the carried-over state: node/step quotas measure table
+  // pressure (warmth would change degrade verdicts) and structural
+  // audits walk the whole table (warmth would change the walk).
+  const bool warm_capable = effective.shard_cost > 0 &&
+                            effective.node_limit == 0 &&
+                            effective.step_limit == 0 &&
+                            effective.audit_level < analysis::AuditLevel::kStructural;
+
   WorkStealingQueue queue(threads);
-  for (std::size_t k = 0; k < to_run.size(); ++k) {
-    queue.push(k % threads, to_run[k]);
+  for (std::size_t s = 0; s < plan.size(); ++s) {
+    queue.push(s % threads, s);
   }
   BatchInstruments instruments;
   if constexpr (telemetry::kHistogramsEnabled) {
     // Anchor the depth histogram with the fully seeded backlog so the
     // drain curve has a defined starting point even for tiny batches.
-    instruments.queue_depth.record(to_run.size());
-    telemetry::trace_counter("queue_depth", "engine", to_run.size());
+    instruments.queue_depth.record(plan.size());
+    telemetry::trace_counter("queue_depth", "engine", plan.size());
+    for (const Shard& s : plan.shards) {
+      instruments.shard_jobs.record(s.count);
+      instruments.shard_cost.record(s.cost);
+    }
   }
   ResultSink sink(jobs.size());
   if (resume != nullptr) {
@@ -883,7 +977,7 @@ BatchReport run_batch(std::span<const Job> jobs, const EngineOptions& opts) {
             &effective, &heuristics, fallback, w,
             effective.hang_timeout_seconds > 0.0 ? &wstatus[w] : nullptr,
             journal.get(), &wstats[w], &flights[w], &flight_path,
-            &instruments};
+            &instruments, &to_run, &plan, warm_capable};
         worker_loop(queue, jobs, sink, ctx);
         set_thread_flight_recorder(nullptr, 0, nullptr);
       });
@@ -942,9 +1036,15 @@ BatchReport run_batch(std::span<const Job> jobs, const EngineOptions& opts) {
   metrics.job_steps = instruments.job_steps.snapshot();
   metrics.steal_search_ns = instruments.steal_search.snapshot();
   metrics.queue_depth = instruments.queue_depth.snapshot();
+  metrics.shard_jobs = instruments.shard_jobs.snapshot();
+  metrics.shard_cost = instruments.shard_cost.snapshot();
   telemetry::histograms().job_steps().merge(metrics.job_steps);
   telemetry::histograms().steal_search_ns().merge(metrics.steal_search_ns);
   telemetry::histograms().queue_depth().merge(metrics.queue_depth);
+  telemetry::histograms().shard_jobs().merge(metrics.shard_jobs);
+  telemetry::histograms().shard_cost().merge(metrics.shard_cost);
+  metrics.shards = plan.size();
+  metrics.shard_cost_budget = effective.shard_cost;
   metrics.workers.reserve(threads);
   for (unsigned w = 0; w < threads; ++w) {
     const WorkerStats& s = wstats[w];
@@ -960,6 +1060,8 @@ BatchReport run_batch(std::span<const Job> jobs, const EngineOptions& opts) {
     u.steals = s.steals;
     metrics.steal_attempts += s.steal_attempts;
     metrics.steals += s.steals;
+    metrics.warm_jobs += s.warm_jobs;
+    metrics.cold_jobs += s.cold_jobs;
     metrics.workers.push_back(u);
   }
   return report;
@@ -970,11 +1072,14 @@ std::string report_csv(const BatchReport& report, bool include_timings,
   using telemetry::Counter;
   std::ostringstream os;
   os << "job,name,vars,status,f_size,c_size,c_onset,min,lower_bound,"
-        "audit_findings,error,detail,peak_live";
+        "audit_findings,error,detail";
   for (const std::string& name : report.names) os << ",size_" << name;
   if (include_counters) {
+    // peak_live lives here, not in the default columns: it measures table
+    // pressure, which warm in-shard reuse legitimately changes, and the
+    // default CSV stays byte-identical across shard modes.
     os << ",ut_inserts,ut_hits,cache_hits,cache_misses,gc_runs,gc_reclaimed,"
-          "steps";
+          "steps,peak_live";
     for (const std::string& name : report.names) {
       os << ",steps_match_" << name << ",steps_build_" << name
          << ",steps_valid_" << name;
@@ -994,7 +1099,7 @@ std::string report_csv(const BatchReport& report, bool include_timings,
        << job_status_name(o.status) << ',' << o.f_size << ','
        << o.c_size << ',' << buf << ',' << o.min_size << ',' << o.lower_bound
        << ',' << o.audit_findings << ',' << harness::csv_field(o.error)
-       << ',' << harness::csv_field(o.detail) << ',' << o.peak_live;
+       << ',' << harness::csv_field(o.detail);
     for (const HeuristicResult& r : o.results) os << ',' << r.size;
     if (include_counters) {
       const telemetry::CounterSnapshot& c = o.counters;
@@ -1002,7 +1107,7 @@ std::string report_csv(const BatchReport& report, bool include_timings,
          << c.value(Counter::kUniqueHits) << ',' << c.total_cache_hits() << ','
          << c.total_cache_misses() << ',' << c.value(Counter::kGcRuns) << ','
          << c.value(Counter::kGcNodesReclaimed) << ','
-         << c.value(Counter::kGovernorSteps);
+         << c.value(Counter::kGovernorSteps) << ',' << o.peak_live;
       for (const HeuristicResult& r : o.results) {
         os << ',' << r.phases[telemetry::Phase::kMatching].steps << ','
            << r.phases[telemetry::Phase::kCoverBuild].steps << ','

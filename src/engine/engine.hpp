@@ -22,6 +22,26 @@
 /// only emitted with `include_timings = true`, which is explicitly outside
 /// the deterministic contract.
 ///
+/// Sharding (`shard_cost > 0`): the submission stream is packed into
+/// cost-balanced shards (engine/shard.hpp) and the work-stealing deque
+/// dispatches shard indices, so one scheduling decision covers dozens of
+/// tiny jobs.  Retry, timeout, cancellation, dedup, journaling and
+/// quarantine all stay strictly per-job.  Within a shard the pooled
+/// manager additionally skips reset() between consecutive jobs that
+/// share num_vars — the unique table and the 2-way computed cache stay
+/// *warm* across jobs — unless an escape hatch forces a cold start:
+/// node/step quotas configured (quota trips depend on allocation state),
+/// audit_level >= kStructural (the auditor must see a one-job table),
+/// the allocated-node watermark exceeded, or a retry attempt.  Warm
+/// reuse never changes covers, sizes, statuses or audit verdicts (BDDs
+/// are canonical; cached results are the results), so the default CSV is
+/// byte-identical at any thread count *and* with sharding on or off.
+/// The opt-in counters block (cache hits, steps, peak_live) measures the
+/// work actually done, which is exactly what warm caches reduce: it
+/// stays byte-deterministic across thread counts — shard packing is a
+/// pure function of the submission stream — but deliberately differs
+/// between sharded and unsharded runs.
+///
 /// Resource governance: each heuristic runs under the worker manager's
 /// ResourceGovernor (node quota, step budget, in-operation deadline).  A
 /// budget trip aborts only that heuristic — the manager stays consistent
@@ -129,6 +149,24 @@ struct EngineOptions {
   bool flush_between = true;
   /// log2 of each worker manager's computed-cache slots.
   unsigned cache_log2 = 14;
+  /// Estimated-cost budget per shard (engine/shard.hpp cost units).  0
+  /// disables coalescing — every job is its own shard and the engine
+  /// behaves exactly as before sharding existed (the library default;
+  /// the CLI defaults to shard::kDefaultShardCost / BDDMIN_SHARD_COST).
+  /// Packing is deterministic, so any non-zero budget preserves the
+  /// default-CSV byte-identity across thread counts.
+  std::uint64_t shard_cost = 0;
+  /// Warm-manager escape hatch: a mid-shard job starts from a full
+  /// reset() whenever the pooled manager's allocated nodes (live + dead)
+  /// reached this watermark, bounding how much table garbage warm reuse
+  /// can accumulate.  Deterministic (allocation history is a pure
+  /// function of the shard contents).
+  std::size_t shard_node_watermark = 1u << 20;
+  /// Journal group-commit: buffer completion records per worker and
+  /// flush them with one fwrite + fsync per *shard* instead of one per
+  /// job (see journal.hpp).  A crash loses at most the unflushed whole
+  /// records, which simply re-run on resume.
+  bool journal_group_commit = false;
   /// Collapse jobs with byte-identical payloads (kind, num_vars and the
   /// truth-table/forest content — names excluded): each distinct payload
   /// is minimized once and the outcome is replicated into every
@@ -198,11 +236,14 @@ struct JobOutcome {
   std::size_t lower_bound = 0;           ///< Theorem 7 bound (opt-in)
   std::size_t audit_findings = 0;
   /// Peak live-node count of the worker manager over the whole job — the
-  /// memory high-water mark.  Deterministic (one fresh manager per job).
+  /// memory high-water mark.  Deterministic across thread counts, but
+  /// sensitive to the shard mode (a warm computed cache builds fewer
+  /// intermediates), so the CSV reports it in the opt-in counters block.
   std::size_t peak_live = 0;
-  /// Final telemetry counters of the worker manager (whole job: decode,
-  /// every heuristic, validation, audits).  Deterministic across thread
-  /// counts; all-zero when telemetry is compiled out.
+  /// Telemetry counter *deltas* for this job (decode, every heuristic,
+  /// validation, audits).  Deterministic across thread counts; all-zero
+  /// when telemetry is compiled out.  Shard-mode sensitive like
+  /// peak_live — warm cache hits replace recorded work.
   telemetry::CounterSnapshot counters;
   unsigned worker = 0;                   ///< informational; non-deterministic
   double seconds = 0.0;                  ///< total job wall time
@@ -245,9 +286,17 @@ struct BatchMetrics {
   telemetry::HistogramSnapshot job_steps;        ///< governor steps per job
   telemetry::HistogramSnapshot steal_search_ns;  ///< per own-deque miss
   telemetry::HistogramSnapshot queue_depth;      ///< sampled backlog
+  telemetry::HistogramSnapshot shard_jobs;       ///< jobs per shard
+  telemetry::HistogramSnapshot shard_cost;       ///< estimated cost per shard
   std::vector<WorkerUtilization> workers;
   std::uint64_t steal_attempts = 0;  ///< totals over workers
   std::uint64_t steals = 0;
+  // Shard-plan facts.  Deterministic (pure function of the submission
+  // stream and shard_cost), unlike the wall-clock histograms above.
+  std::uint64_t shards = 0;            ///< shards dispatched
+  std::uint64_t shard_cost_budget = 0; ///< effective EngineOptions::shard_cost
+  std::uint64_t warm_jobs = 0;  ///< jobs that reused a warm manager
+  std::uint64_t cold_jobs = 0;  ///< jobs that started from reset()
 };
 
 struct BatchReport {
@@ -270,14 +319,17 @@ struct BatchReport {
                                     const EngineOptions& opts = {});
 
 /// CSV of the report, one row per job in submission order.  The default
-/// column set is deterministic across thread counts; `include_timings`
-/// appends per-heuristic seconds, job seconds and the worker id, which
-/// are not.  `include_counters` appends per-job telemetry counters and
-/// per-heuristic phase step splits — deterministic, so byte-identity
-/// across thread counts extends to them (all zeros when telemetry is
-/// compiled out).  `include_attempts` appends the retry columns
-/// (`attempts`, `retry_reason`) — deterministic only when no transient
-/// fault fired (see JobOutcome::attempts).
+/// column set is deterministic across thread counts *and* across shard
+/// modes — it contains only canonical facts (sizes, statuses, covers,
+/// audit verdicts).  `include_timings` appends per-heuristic seconds,
+/// job seconds and the worker id, which are not deterministic.
+/// `include_counters` appends per-job telemetry counters, `peak_live`
+/// and per-heuristic phase step splits — deterministic across thread
+/// counts (all zeros when telemetry is compiled out) but sensitive to
+/// the shard mode: warm computed caches do less work, which is the
+/// point.  `include_attempts` appends the retry columns (`attempts`,
+/// `retry_reason`) — deterministic only when no transient fault fired
+/// (see JobOutcome::attempts).
 [[nodiscard]] std::string report_csv(const BatchReport& report,
                                      bool include_timings = false,
                                      bool include_counters = false,

@@ -41,7 +41,8 @@ Job make_tt_job(std::string name, std::uint64_t f_tt, std::uint64_t c_tt,
   return job;
 }
 
-minimize::IncSpec decode_job(Manager& mgr, const Job& job) {
+minimize::IncSpec decode_job(Manager& mgr, const Job& job,
+                             DecodeScratch& scratch) {
   if (BDDMIN_FAILPOINT("job_decode_corrupt")) {
     throw std::invalid_argument(
         "decode_job: payload failed integrity check (injected)");
@@ -56,11 +57,16 @@ minimize::IncSpec decode_job(Manager& mgr, const Job& job) {
     return {from_tt(mgr, job.f_tt, job.num_vars),
             from_tt(mgr, job.c_tt, job.num_vars)};
   }
-  const std::vector<Edge> roots = deserialize(mgr, job.forest);
-  if (roots.size() != 2) {
+  deserialize_into(mgr, job.forest, &scratch.nodes, &scratch.roots);
+  if (scratch.roots.size() != 2) {
     throw std::invalid_argument("decode_job: payload must have roots {f, c}");
   }
-  return {roots[0], roots[1]};
+  return {scratch.roots[0], scratch.roots[1]};
+}
+
+minimize::IncSpec decode_job(Manager& mgr, const Job& job) {
+  DecodeScratch scratch;
+  return decode_job(mgr, job, scratch);
 }
 
 std::vector<Job> random_jobs(unsigned count, unsigned num_vars,

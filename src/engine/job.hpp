@@ -45,10 +45,25 @@ struct Job {
 [[nodiscard]] Job make_tt_job(std::string name, std::uint64_t f_tt,
                               std::uint64_t c_tt, unsigned n);
 
+/// Reusable decode buffers, one per batch-engine worker.  Forest
+/// payloads parse through these instead of fresh vectors, extending the
+/// epoch-stamped VisitScratch reuse idiom to the decode path: after the
+/// first few jobs the buffers reach steady-state capacity and decoding
+/// allocates nothing.
+struct DecodeScratch {
+  std::vector<Edge> nodes;  ///< deserialize_into node-id table
+  std::vector<Edge> roots;  ///< deserialize_into root list
+};
+
 /// Rebuild the job's [f, c] inside \p mgr, which must have at least
 /// job.num_vars variables.  Throws std::invalid_argument on a malformed
 /// payload.
 [[nodiscard]] minimize::IncSpec decode_job(Manager& mgr, const Job& job);
+
+/// decode_job through caller-owned scratch buffers (see DecodeScratch);
+/// same contract, zero steady-state allocation for forest payloads.
+[[nodiscard]] minimize::IncSpec decode_job(Manager& mgr, const Job& job,
+                                           DecodeScratch& scratch);
 
 /// \p count random instances over \p num_vars variables with target care
 /// density \p c_density, reproducible end-to-end from \p seed: job k is

@@ -292,34 +292,62 @@ JournalWriter::~JournalWriter() {
   if (file_ != nullptr) std::fclose(file_);
 }
 
-void JournalWriter::append_record(char type, std::size_t index,
-                                  const std::string& payload) {
+namespace {
+
+/// One full record line: "<type> <index> <crc32-hex> <payload>\n".
+[[nodiscard]] std::string format_record(char type, std::size_t index,
+                                        const std::string& payload) {
   char prefix[32];
   std::snprintf(prefix, sizeof prefix, "%c %zu %08x ", type, index,
                 journal_crc32(payload));
-  const std::string line = std::string(prefix) + payload + "\n";
+  return std::string(prefix) + payload + "\n";
+}
+
+/// The crash the resume path must heal: die *before* any completion
+/// record (single or group) reaches the journal, so the affected jobs
+/// re-run on resume.  The worker's flight recorder is dumped first —
+/// this is exactly the "fatal failpoint" moment the ring exists for.
+/// Shared by append_completed and append_raw_lines so once/nth arming
+/// has a single polling site.
+void maybe_abort_before_commit() {
+  if (const auto hit = BDDMIN_FAILPOINT("journal_commit_abort")) {
+    flight_fatal_dump("journal_commit_abort");
+    std::_Exit(static_cast<int>(hit.value));
+  }
+}
+
+}  // namespace
+
+void JournalWriter::commit(const std::string& bytes, bool completion) {
   const std::lock_guard<std::mutex> lock(mu_);
-  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
+  // The failpoint polls *inside* the lock: commits serialize, so an
+  // nth-hit abort is guaranteed to leave the n-1 preceding commits
+  // durable — the crash-matrix tests depend on that ordering.
+  if (completion) maybe_abort_before_commit();
+  if (std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size() ||
       std::fflush(file_) != 0 || ::fsync(::fileno(file_)) != 0) {
     throw JournalError("journal: write failed on '" + path_ + "'");
   }
 }
 
+std::string format_completed_record(std::size_t index,
+                                    const JobOutcome& outcome) {
+  return format_record('C', index, encode_outcome_record(outcome));
+}
+
+void JournalWriter::append_raw_lines(const std::string& lines) {
+  if (lines.empty()) return;
+  commit(lines, /*completion=*/true);
+}
+
 void JournalWriter::append_submitted(std::size_t index, const Job& job) {
-  append_record('J', index, encode_job_record(job));
+  commit(format_record('J', index, encode_job_record(job)),
+         /*completion=*/false);
 }
 
 void JournalWriter::append_completed(std::size_t index,
                                      const JobOutcome& outcome) {
-  // The crash the resume path must heal: die *before* the completion
-  // record reaches the journal, so the job re-runs on resume.  The
-  // worker's flight recorder is dumped first — this is exactly the
-  // "fatal failpoint" moment the ring exists for.
-  if (const auto hit = BDDMIN_FAILPOINT("journal_commit_abort")) {
-    flight_fatal_dump("journal_commit_abort");
-    std::_Exit(static_cast<int>(hit.value));
-  }
-  append_record('C', index, encode_outcome_record(outcome));
+  commit(format_completed_record(index, outcome), /*completion=*/true);
 }
 
 // ---- Reader ------------------------------------------------------------

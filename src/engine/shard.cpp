@@ -1,0 +1,50 @@
+#include "engine/shard.hpp"
+
+#include <algorithm>
+
+namespace bddmin::engine {
+
+std::uint64_t estimate_job_cost(const Job& job) noexcept {
+  std::uint64_t payload_bytes = 0;
+  if (job.kind == PayloadKind::kTruthTable) {
+    // Two tables (f and c) of 2^num_vars bits each; num_vars is bounded
+    // by the truth-table payload limit, so the shift is safe.
+    payload_bytes = (2ull << job.num_vars) / 8;
+  } else {
+    payload_bytes = job.forest.size();
+  }
+  return kJobFixedCost + payload_bytes;
+}
+
+ShardPlan pack_shards(std::span<const Job> jobs,
+                      const std::vector<std::size_t>& run,
+                      std::uint64_t cost_budget) {
+  ShardPlan plan;
+  if (run.empty()) return plan;
+  plan.shards.reserve(cost_budget == 0 ? run.size() : run.size() / 4 + 1);
+  Shard current;
+  current.first = 0;
+  for (std::uint32_t k = 0; k < run.size(); ++k) {
+    const std::uint64_t cost = estimate_job_cost(jobs[run[k]]);
+    const bool over = current.count > 0 &&
+                      (cost_budget == 0 || current.count >= kMaxShardJobs ||
+                       current.cost + cost > cost_budget);
+    if (over) {
+      plan.shards.push_back(current);
+      current.first = k;
+      current.count = 0;
+      current.cost = 0;
+    }
+    ++current.count;
+    current.cost += cost;
+  }
+  plan.shards.push_back(current);
+  for (const Shard& s : plan.shards) {
+    plan.total_cost += s.cost;
+    plan.max_shard_cost = std::max(plan.max_shard_cost, s.cost);
+    plan.max_shard_jobs = std::max(plan.max_shard_jobs, s.count);
+  }
+  return plan;
+}
+
+}  // namespace bddmin::engine

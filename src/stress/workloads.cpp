@@ -21,6 +21,7 @@
 #include "bdd/truth_table.hpp"
 #include "engine/engine.hpp"
 #include "engine/job.hpp"
+#include "engine/shard.hpp"
 #include "minimize/registry.hpp"
 #include "minimize/sibling.hpp"
 #include "stress/runner.hpp"
@@ -328,6 +329,69 @@ void run_degrade_batch(StressContext& ctx) {
   ctx.scratch = check_statuses(
       rep, {engine::JobStatus::kOk, engine::JobStatus::kResourceLimit});
   if (ctx.scratch.empty()) ctx.note(engine::report_csv(rep));
+}
+
+/// Shard-invariance probe: the same stream under two independently drawn
+/// shard-cost budgets (0 = unsharded, a tiny rng budget, or the CLI
+/// default) and worker counts must produce byte-identical default CSV —
+/// warm-manager reuse must never leak into canonical facts.  The CSV
+/// feeds the digest, so it must also be budget- and thread-invariant
+/// across replays.
+void run_shard_sweep(StressContext& ctx) {
+  StepRng& rng = ctx.rng();
+  const std::vector<engine::Job> jobs =
+      random_tt_jobs(rng, 4 + static_cast<unsigned>(rng.below(4)), 4, "sh");
+  const std::uint64_t budgets[] = {0, 96 + rng.next() % 512,
+                                   engine::kDefaultShardCost};
+  engine::EngineOptions eo;
+  eo.heuristic = "restr";
+  eo.num_threads = 1 + static_cast<unsigned>(rng.below(2));
+  eo.shard_cost = budgets[rng.below(3)];
+  const engine::BatchReport a = engine::run_batch(jobs, eo);
+  eo.num_threads = 1 + static_cast<unsigned>(rng.below(2));
+  eo.shard_cost = budgets[rng.below(3)];
+  const engine::BatchReport b = engine::run_batch(jobs, eo);
+  const std::string csv = engine::report_csv(a);
+  if (csv != engine::report_csv(b)) {
+    ctx.scratch = "report_csv differs between shard budgets " +
+                  std::to_string(a.metrics.shard_cost_budget) + " and " +
+                  std::to_string(b.metrics.shard_cost_budget);
+    return;
+  }
+  ctx.note(csv);
+}
+
+/// Cancel a sharded batch from a helper thread: a shard is NOT a
+/// cancellation unit — a started job always finishes, a queued job
+/// (whole undrained shards included) reports kCancelled, and nothing is
+/// lost or run twice.  Statuses are wall-clock dependent — validated,
+/// never digested.  Same R6 shape as run_cancel_mid_run: the join
+/// happens with no TraceScope or lock held.
+void run_shard_cancel(StressContext& ctx) {
+  StepRng& rng = ctx.rng();
+  const std::vector<engine::Job> jobs =
+      random_tt_jobs(rng, 8 + static_cast<unsigned>(rng.below(6)), 6, "shc");
+  const auto cancel = std::make_shared<std::atomic<bool>>(false);
+  engine::EngineOptions eo;
+  eo.heuristic = "osm_td";
+  eo.num_threads = 2;
+  eo.shard_cost = 64 + rng.next() % 1024;  // several multi-job shards
+  eo.cancel = cancel;
+  const auto delay = std::chrono::microseconds(rng.below(300));
+  std::thread canceller([cancel, delay] {
+    std::this_thread::sleep_for(delay);
+    cancel->store(true, std::memory_order_relaxed);
+  });
+  const engine::BatchReport rep = engine::run_batch(jobs, eo);
+  canceller.join();
+  ctx.scratch = check_statuses(
+      rep, {engine::JobStatus::kOk, engine::JobStatus::kCancelled});
+  if (!ctx.scratch.empty()) return;
+  if (rep.outcomes.size() != jobs.size()) {
+    ctx.scratch = "sharded cancel lost outcomes: " +
+                  std::to_string(rep.outcomes.size()) + "/" +
+                  std::to_string(jobs.size());
+  }
 }
 
 // ---- Telemetry states ---------------------------------------------------
@@ -679,6 +743,8 @@ StressFsm make_engine() {
       {{"submit-batch", run_submit_batch, inv_scratch, 3.0},
        {"csv-determinism", run_csv_determinism, inv_scratch, 2.0},
        {"dedup-replay", run_dedup_replay, inv_scratch, 2.0},
+       {"shards", run_shard_sweep, inv_scratch, 2.0},
+       {"shard-cancel", run_shard_cancel, inv_scratch, 1.0},
        {"cancel-mid-run", run_cancel_mid_run, inv_scratch, 1.0},
        {"timeout-storm", run_timeout_storm, inv_scratch, 1.0},
        {"counter-scrape", run_counter_scrape, inv_scratch, 1.0}});
@@ -724,6 +790,8 @@ StressFsm make_mixed() {
   b.state("submit-batch", run_submit_batch, inv_scratch);
   b.state("csv-determinism", run_csv_determinism, inv_scratch);
   b.state("dedup-replay", run_dedup_replay, inv_scratch);
+  b.state("shards", run_shard_sweep, inv_scratch);
+  b.state("shard-cancel", run_shard_cancel, inv_scratch);
   b.state("degrade-batch", run_degrade_batch, inv_scratch);
   b.state("cancel-mid-run", run_cancel_mid_run, inv_scratch);
   b.state("timeout-storm", run_timeout_storm, inv_scratch);

@@ -6,7 +6,8 @@
 ///   core      — single-manager operation soup: build-ops, GC,
 ///               clear-caches, sifting, pooled reset/reuse, deep audits
 ///   engine    — batch engine surface: submit-batch, CSV byte-determinism
-///               probes, dedup replay, cancellation, timeout storms
+///               probes, dedup replay, shard-budget invariance sweeps,
+///               mid-shard cancellation, timeout storms
 ///   governor  — effort limits: quota-exhaust aborts, sifting under a node
 ///               quota, degraded batches, abort -> reset -> reuse cycles
 ///   telemetry — counter cross-checks, Prometheus scrape shape, trace

@@ -91,6 +91,10 @@ std::string histogram_prometheus_text(const GlobalHistograms& g) {
         g.steal_search_ns().snapshot());
   plain("bddmin_queue_depth", "Sampled total run-queue depth",
         g.queue_depth().snapshot());
+  plain("bddmin_shard_jobs", "Jobs packed per scheduler shard",
+        g.shard_jobs().snapshot());
+  plain("bddmin_shard_cost", "Estimated cost units per scheduler shard",
+        g.shard_cost().snapshot());
   return out;
 }
 

@@ -217,6 +217,16 @@ class GlobalHistograms {
   [[nodiscard]] const Histogram& queue_depth() const noexcept {
     return queue_depth_;
   }
+  /// Jobs packed into each shard by the batch engine's cost model.
+  [[nodiscard]] Histogram& shard_jobs() noexcept { return shard_jobs_; }
+  [[nodiscard]] const Histogram& shard_jobs() const noexcept {
+    return shard_jobs_;
+  }
+  /// Estimated cost units per shard (see engine/shard.hpp).
+  [[nodiscard]] Histogram& shard_cost() noexcept { return shard_cost_; }
+  [[nodiscard]] const Histogram& shard_cost() const noexcept {
+    return shard_cost_;
+  }
 
   void reset() noexcept {
     for (auto& row : job_latency_) {
@@ -225,6 +235,8 @@ class GlobalHistograms {
     job_steps_.reset();
     steal_search_.reset();
     queue_depth_.reset();
+    shard_jobs_.reset();
+    shard_cost_.reset();
   }
 
  private:
@@ -232,6 +244,8 @@ class GlobalHistograms {
   Histogram job_steps_;
   Histogram steal_search_;
   Histogram queue_depth_;
+  Histogram shard_jobs_;
+  Histogram shard_cost_;
 };
 
 /// The process-global histogram bank (never destroyed).

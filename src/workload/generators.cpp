@@ -4,6 +4,7 @@
 #include <string>
 
 #include "fsm/fsm.hpp"
+#include "workload/instances.hpp"
 
 namespace bddmin::workload {
 namespace {
@@ -349,6 +350,53 @@ fsm::Fsm make_random_mealy_fsm(unsigned num_states, unsigned input_bits,
     }
   }
   return machine;
+}
+
+std::vector<engine::Job> heavy_tier_jobs(unsigned scale, std::uint64_t seed) {
+  std::vector<engine::Job> jobs;
+  jobs.reserve(std::size_t{616} * scale);
+  // splitmix64 stream: each payload draws a fixed number of values, so
+  // job k is a pure function of (scale-independent) position and seed.
+  std::uint64_t state = seed;
+  const auto next_u64 = [&state]() {
+    state += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  };
+  for (unsigned unit = 0; unit < scale; ++unit) {
+    // 600 cheap truth-table jobs: the fleet's long tail, where the
+    // engine's per-job fixed cost (reset, decode, governor rebaseline)
+    // rivals the minimization itself.
+    for (unsigned k = 0; k < 600; ++k) {
+      // Grouped by width (200-job runs of 4, then 5, then 6 variables),
+      // the way a fleet backlog arrives: consecutive same-width jobs are
+      // what the engine's warm-manager reuse amortizes.
+      const unsigned n = 4 + (k / 200) % 3;
+      const std::uint64_t f = next_u64();
+      // A sparse-ish care set keeps genuine don't cares in every job.
+      const std::uint64_t c = next_u64() | next_u64();
+      jobs.push_back(engine::make_tt_job(
+          "heavy_tt" + std::to_string(unit) + "_" + std::to_string(k), f, c,
+          n));
+    }
+    // 16 forest jobs over 7-12 variables: two per width per unit, real
+    // decode and minimize work so shards mix cheap and costly payloads.
+    for (unsigned k = 0; k < 16; ++k) {
+      const unsigned n = 7 + (k / 2) % 6;  // 7..12 variables, pairs per width
+      const std::uint64_t job_seed = next_u64();
+      Manager mgr(n, /*cache_log2=*/14);
+      const minimize::IncSpec spec =
+          random_instance(mgr, n, /*c_density=*/0.4, job_seed);
+      jobs.push_back(engine::make_job(mgr,
+                                      "heavy_forest" + std::to_string(unit) +
+                                          "_" + std::to_string(k) + "_s" +
+                                          std::to_string(job_seed),
+                                      spec));
+    }
+  }
+  return jobs;
 }
 
 }  // namespace bddmin::workload

@@ -10,7 +10,9 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
+#include "engine/job.hpp"
 #include "fsm/encoding.hpp"
 
 namespace bddmin::workload {
@@ -70,5 +72,17 @@ using fsm::MachineSpec;
                                              unsigned input_bits,
                                              unsigned num_outputs,
                                              std::uint64_t seed);
+
+/// Heavy-tier batch workload: a parameterized stream of `616 * scale`
+/// minimization jobs shaped like a verification fleet's backlog — per
+/// scale unit, 600 cheap truth-table jobs over 4-6 variables (where
+/// per-job fixed cost dominates and shard scheduling pays off) plus 16
+/// forest jobs over 7-12 variables (real decode + minimize work, so the
+/// stream is not degenerate).  Deterministic end-to-end: job k of a
+/// given (scale, seed) has the same name and payload on every run, and
+/// names embed the derived seed so any single job is reproducible alone.
+/// scale 50 yields 30,800 jobs, the >= 30k bar of the scaled-up bench.
+[[nodiscard]] std::vector<engine::Job> heavy_tier_jobs(unsigned scale,
+                                                       std::uint64_t seed);
 
 }  // namespace bddmin::workload

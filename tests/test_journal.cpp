@@ -234,6 +234,43 @@ TEST(JournalRecovery, GarbledRecordLinesQuarantineNotThrow) {
   std::remove(path.c_str());
 }
 
+TEST(JournalRecovery, GroupCommitTailTruncationKeepsWholeRecords) {
+  // Group commit writes a shard's completion records as one fwrite; a
+  // crash mid-write must lose only the cut record, never the whole group.
+  const std::string path = temp_path("group.wal");
+  {
+    JournalWriter writer(path, /*truncate=*/true);
+    std::string group;
+    for (std::size_t i = 0; i < 3; ++i) {
+      const Job job = engine::make_tt_job("g" + std::to_string(i),
+                                          0x6u + i, 0xFu, 2);
+      writer.append_submitted(i, job);
+      JobOutcome done;
+      done.name = job.name;
+      done.num_vars = 2;
+      done.min_size = i + 1;
+      group += engine::format_completed_record(i, done);
+    }
+    writer.append_raw_lines(group);
+  }
+  {
+    const JournalContents clean = engine::read_journal(path);
+    EXPECT_TRUE(clean.warnings.empty());
+    EXPECT_EQ(clean.completed_count(), 3u);
+  }
+  std::string text = read_file(path);
+  text.resize(text.size() - 10);  // cut into the last record of the group
+  write_file(path, text);
+  const JournalContents c = engine::read_journal(path);
+  EXPECT_TRUE(has_warning(c, "truncated tail"));
+  ASSERT_EQ(c.jobs.size(), 3u);
+  EXPECT_EQ(c.completed_count(), 2u);  // records 0 and 1 survive intact
+  ASSERT_TRUE(c.completed[1].has_value());
+  EXPECT_EQ(c.completed[1]->min_size, 2u);
+  EXPECT_FALSE(c.completed[2].has_value());
+  std::remove(path.c_str());
+}
+
 // ---- In-process resume -------------------------------------------------
 
 TEST(JournalResume, ResumedBatchCsvIsByteIdentical) {
@@ -315,6 +352,42 @@ TEST(JournalResume, KillAndResumeMatchesUninterruptedRun) {
                 common + t + " --journal " + wal + " --csv " + out_csv),
         42);
     // ... then resume WITHOUT the failpoint armed.
+    ASSERT_EQ(run_cli(cli + common + t + " --journal " + wal + " --resume" +
+                      " --csv " + out_csv),
+              0);
+    EXPECT_EQ(read_file(out_csv), read_file(base_csv)) << threads;
+
+    std::remove(base_csv.c_str());
+    std::remove(out_csv.c_str());
+    std::remove(wal.c_str());
+  }
+}
+
+TEST(JournalResume, GroupCommitKillAndResumeMatchesUninterruptedRun) {
+  const std::string cli = BDDMIN_CLI_PATH;
+  // A small shard budget forces several shards (and hence several group
+  // flushes) even on 12 jobs, so the nth:2 failpoint dies with flush 1
+  // durable and flushes >= 2 lost — whole records only.
+  const std::string common =
+      " batch --jobs 12 --vars 8 --seed 9 --heuristic restr"
+      " --shard-cost 600 --journal-group-commit";
+  for (const unsigned threads : {1u, 2u}) {
+    const std::string t = " --threads " + std::to_string(threads);
+    const std::string tag = "gc" + std::to_string(threads);
+    const std::string base_csv = temp_path((tag + "base.csv").c_str());
+    const std::string out_csv = temp_path((tag + "out.csv").c_str());
+    const std::string wal = temp_path((tag + ".wal").c_str());
+
+    ASSERT_EQ(run_cli(cli + common + t + " --csv " + base_csv), 0);
+
+    EXPECT_EQ(
+        run_cli("BDDMIN_FAILPOINTS=journal_commit_abort:nth:2 " + cli +
+                common + t + " --journal " + wal + " --csv " + out_csv),
+        42);
+    // The journal must already hold the first group's completions —
+    // group commit batches records, it must not defer them to the end.
+    EXPECT_GT(engine::read_journal(wal).completed_count(), 0u);
+
     ASSERT_EQ(run_cli(cli + common + t + " --journal " + wal + " --resume" +
                       " --csv " + out_csv),
               0);

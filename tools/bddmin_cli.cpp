@@ -37,7 +37,8 @@
 ///                  [--fallback-heuristic NAME] [--csv PATH] [--timings]
 ///                  [--max-retries N] [--backoff-ms N] [--hang-timeout-ms N]
 ///                  [--attempts] [--journal PATH] [--resume]
-///                  [--progress] [--metrics PATH]
+///                  [--progress] [--metrics PATH] [--shard-cost C]
+///                  [--no-shard] [--journal-group-commit]
 ///     Shard a set of minimization jobs across a worker pool (each worker
 ///     owns a private manager) and print the per-status summary plus a
 ///     submission-order CSV report.  Jobs come from the PLA's output
@@ -67,6 +68,18 @@
 ///     latency, per-worker busy/steal/sink/idle decomposition, steal
 ///     success rate, sampled queue depth — as JSON for
 ///     tools/scaling_report.py.
+///     Sharding (docs/OBSERVABILITY.md): jobs are packed into shards by
+///     a deterministic cost model and the worker deques dispatch whole
+///     shards; within a shard the pooled manager is reused warm (no
+///     reset) across consecutive same-width jobs, so the computed cache
+///     carries over.  The CLI defaults the shard budget to
+///     engine::kDefaultShardCost, overridable with --shard-cost C or
+///     BDDMIN_SHARD_COST; --no-shard (or BDDMIN_NO_SHARD=1) restores
+///     per-job scheduling.  The default CSV is byte-identical either
+///     way.  --journal-group-commit (or BDDMIN_JOURNAL_GROUP_COMMIT=1)
+///     batches the journal's completion records per shard with one
+///     fsync per flush; a crash re-runs at most the unflushed tail of
+///     one shard per worker on --resume.
 ///
 /// bddmin_cli failpoints [--describe]
 ///     List the registered fault-injection points (one name per line, for
@@ -124,6 +137,7 @@
 #include "bdd/ops.hpp"
 #include "engine/engine.hpp"
 #include "engine/journal.hpp"
+#include "engine/shard.hpp"
 #include "fsm/equiv.hpp"
 #include "fsm/kiss.hpp"
 #include "harness/csv.hpp"
@@ -438,6 +452,20 @@ engine::EngineOptions batch_options(int argc, char** argv) {
       static_cast<unsigned>(int_flag(argc, argv, "--backoff-ms", 0));
   opts.hang_timeout_seconds =
       int_flag(argc, argv, "--hang-timeout-ms", 0) / 1000.0;
+  // Sharding defaults ON at the CLI (the library default is off so
+  // embedders opt in); precedence is flag > environment > default.
+  opts.shard_cost =
+      harness::env_u64("BDDMIN_SHARD_COST", engine::kDefaultShardCost);
+  if (const char* raw = flag_value(argc, argv, "--shard-cost")) {
+    opts.shard_cost = std::strtoull(raw, nullptr, 10);
+  }
+  if (has_flag(argc, argv, "--no-shard") ||
+      harness::env_u64("BDDMIN_NO_SHARD", 0) != 0) {
+    opts.shard_cost = 0;
+  }
+  opts.journal_group_commit =
+      has_flag(argc, argv, "--journal-group-commit") ||
+      harness::env_u64("BDDMIN_JOURNAL_GROUP_COMMIT", 0) != 0;
   return opts;
 }
 
@@ -457,17 +485,46 @@ void metrics_histogram(harness::JsonWriter& w, const std::string& name,
 }
 
 /// The scheduler-metrics JSON consumed by tools/scaling_report.py:
-/// latency/steps/steal/queue-depth histogram summaries, steal totals and
-/// the per-worker busy/steal/sink/idle decomposition.
+/// latency/steps/steal/queue-depth histogram summaries, steal totals,
+/// the per-worker busy/steal/sink/idle decomposition and (schema 2) the
+/// shard plan plus the scheduler-overhead split: heuristic_seconds is
+/// the summed per-heuristic minimize time, so busy - heuristic is the
+/// per-job fixed cost (decode, reset, governor, validation, delivery).
 std::string metrics_json(const engine::BatchReport& report) {
   const engine::BatchMetrics& m = report.metrics;
+  double heuristic_seconds = 0.0;
+  for (const engine::JobOutcome& o : report.outcomes) {
+    for (const engine::HeuristicResult& r : o.results) {
+      heuristic_seconds += r.seconds;
+    }
+  }
+  double busy_seconds = 0.0;
+  for (const engine::WorkerUtilization& u : m.workers) {
+    busy_seconds += u.busy_seconds;
+  }
   harness::JsonWriter w;
   w.begin_object();
-  w.kv("schema_version", 1);
+  w.kv("schema_version", 2);
   w.kv("telemetry_enabled", telemetry::kHistogramsEnabled);
   w.kv("threads", report.num_threads);
   w.kv("jobs", static_cast<std::uint64_t>(report.outcomes.size()));
   w.kv("wall_seconds", report.wall_seconds);
+  w.key("sharding").begin_object();
+  w.kv("shards", m.shards);
+  w.kv("shard_cost_budget", m.shard_cost_budget);
+  w.kv("warm_jobs", m.warm_jobs);
+  w.kv("cold_jobs", m.cold_jobs);
+  metrics_histogram(w, "shard_jobs", m.shard_jobs);
+  metrics_histogram(w, "shard_cost", m.shard_cost);
+  w.end_object();
+  w.key("overhead").begin_object();
+  w.kv("busy_seconds", busy_seconds);
+  w.kv("heuristic_seconds", heuristic_seconds);
+  w.kv("overhead_fraction",
+       busy_seconds > 0.0
+           ? std::max(0.0, 1.0 - heuristic_seconds / busy_seconds)
+           : 0.0);
+  w.end_object();
   metrics_histogram(w, "job_latency_ns", m.job_latency_ns);
   metrics_histogram(w, "job_steps", m.job_steps);
   metrics_histogram(w, "steal_search_ns", m.steal_search_ns);
@@ -728,6 +785,8 @@ int main(int argc, char** argv) {
                " [--hang-timeout-ms N] [--attempts]\n"
                "                   [--journal PATH] [--resume] [--progress]"
                " [--metrics PATH]\n"
+               "                   [--shard-cost C] [--no-shard]"
+               " [--journal-group-commit]\n"
                "  bddmin_cli stats [batch flags]  (prints Prometheus-style"
                " telemetry counters + histograms)\n"
                "  bddmin_cli failpoints [--describe]  (lists the registered"

@@ -8,9 +8,10 @@ Consumes the artifacts one traced batch run produces:
     span per job attempt and whose "run_batch" span bounds the batch;
   * optionally one or more --metrics files (bddmin_cli batch --metrics
     PATH), for the per-worker busy/steal/sink/idle decomposition, steal
-    success rate and latency percentiles — given several (one per thread
-    count), the report compares them;
-  * optionally --bench BENCH_batch.json (schema_version 2), for the
+    success rate, latency percentiles and (schema 2) the shard plan and
+    scheduler-overhead split — given several (one per thread count, or a
+    sharded/unsharded pair), the report compares them;
+  * optionally --bench BENCH_batch.json (schema_version 3), for the
     measured speedup curve and the host's hardware_concurrency.
 
 And emits a scaling diagnosis (stdout, plain text):
@@ -20,10 +21,14 @@ And emits a scaling diagnosis (stdout, plain text):
     job span) with an Amdahl fit: predicted vs actual speedup per
     thread count,
   * steal attempt/success stats and sampled queue-depth range,
+  * a scheduler-overhead section: the per-job fixed cost (busy time not
+    spent inside a heuristic) against the minimize time proper, plus
+    shard-plan stats and, when both a sharded and an unsharded metrics
+    file are given, the wall/overhead deltas between them,
   * the top-k longest serial sections with the job that was running,
   * a named bottleneck consistent with the numbers — CPU
     oversubscription, measured serial fraction, worker starvation
-    (dominant idle/steal state) or scheduler overhead.
+    (dominant idle/steal state) or per-job scheduler overhead.
 
 Stdlib only, mirroring check_trace.py.  Exit 0 on success (a diagnosis
 was produced), 1 on unreadable/malformed input.
@@ -282,6 +287,48 @@ def main() -> int:
               f"min={min(depth_samples)} max={max(depth_samples)} "
               f"last={depth_samples[-1]}")
 
+    # ---- Scheduler overhead: per-job fixed cost vs minimize time, from
+    # the schema-2 "overhead"/"sharding" objects. ------------------------
+    overhead_runs = [m for m in metrics if "overhead" in m]
+    if overhead_runs:
+        print()
+        print("scheduler overhead (per-job fixed cost vs minimize time):")
+        for m in overhead_runs:
+            ov = m["overhead"]
+            sh = m.get("sharding", {})
+            jobs = m.get("jobs", 0)
+            busy = ov.get("busy_seconds", 0.0)
+            heur = ov.get("heuristic_seconds", 0.0)
+            frac = ov.get("overhead_fraction", 0.0)
+            fixed_us = ((busy - heur) / jobs * 1e6) if jobs else 0.0
+            mode = ("sharded" if sh.get("shard_cost_budget", 0)
+                    else "unsharded")
+            print(f"  threads={m.get('threads')} {mode}: "
+                  f"busy={busy:.3f}s minimize={heur:.3f}s "
+                  f"overhead={frac:.1%} (~{fixed_us:.0f}us fixed cost/job)")
+            if sh:
+                sj = sh.get("shard_jobs", {})
+                print(f"    shards={sh.get('shards')} "
+                      f"budget={sh.get('shard_cost_budget')} "
+                      f"warm_jobs={sh.get('warm_jobs')} "
+                      f"cold_jobs={sh.get('cold_jobs')} "
+                      f"jobs/shard p50={sj.get('p50', 0)} "
+                      f"max={sj.get('max', 0)}")
+        sharded = [m for m in overhead_runs
+                   if m.get("sharding", {}).get("shard_cost_budget", 0)]
+        unsharded = [m for m in overhead_runs
+                     if not m.get("sharding", {}).get("shard_cost_budget", 0)]
+        if sharded and unsharded:
+            s, u = sharded[0], unsharded[0]
+            wall_s = s.get("wall_seconds", 0.0)
+            wall_u = u.get("wall_seconds", 0.0)
+            frac_s = s["overhead"].get("overhead_fraction", 0.0)
+            frac_u = u["overhead"].get("overhead_fraction", 0.0)
+            delta = (wall_u - wall_s) / wall_u if wall_u > 0 else 0.0
+            print(f"  sharded vs unsharded: wall {wall_u:.3f}s -> "
+                  f"{wall_s:.3f}s ({delta:+.1%}), overhead "
+                  f"{frac_u:.1%} -> {frac_s:.1%}")
+
     print()
     print(f"top {args.top} longest serial sections (<= 1 busy worker):")
     for dur, start, jobs in serial_sections[:args.top]:
@@ -334,6 +381,27 @@ def main() -> int:
                   f"dominantly idle (steal success {rate:.1%}) — the "
                   "queue drains unevenly; check the depth curve above.")
             diagnosed = True
+    # Tiny jobs make the per-job fixed cost (decode, reset, fsync,
+    # scheduling) a first-order term: call it out whenever the p50 job
+    # latency is under 1ms and the overhead split confirms it.
+    for m in metrics:
+        lat_p50_ns = m.get("job_latency_ns", {}).get("p50", 0)
+        ov = m.get("overhead", {})
+        frac = ov.get("overhead_fraction", 0.0)
+        if 0 < lat_p50_ns < 1_000_000 and frac > 0.10:
+            sh = m.get("sharding", {})
+            budget = sh.get("shard_cost_budget", 0)
+            remedy = ("raise --shard-cost so more jobs share a warm "
+                      "manager" if budget else
+                      "enable shard scheduling (--shard-cost) so the "
+                      "fixed cost amortizes over a shard")
+            print(f"  * per-job scheduler overhead: p50 job latency is "
+                  f"{lat_p50_ns / 1e6:.2f}ms (< 1ms) and {frac:.1%} of "
+                  f"busy time is outside the heuristics at "
+                  f"threads={m.get('threads')} — the fixed per-job cost "
+                  f"rivals the minimization itself; {remedy}.")
+            diagnosed = True
+            break
     if not diagnosed:
         if worst is not None and worst < 0.9 * num_workers:
             print("  * no dominant serial fraction or starvation, but the "
